@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows/series (bypassing capture so the output
+lands in ``pytest benchmarks/ --benchmark-only`` logs, which
+EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction block directly to the terminal."""
+
+    def _report(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(body)
+
+    return _report

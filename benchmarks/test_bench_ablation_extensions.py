@@ -1,0 +1,42 @@
+"""Ablation: Section 6 extensions — compute-ahead and Virtex-II.
+
+The paper's future work lists compute-ahead Register Base blocks
+(predicated next-state, hiding the PRIORITY_UPDATE cycle) and moving
+the decision products onto Virtex-II hard multipliers.  This bench
+prices both against the baseline: throughput at 4..32 slots and the
+register-area cost of predication.
+"""
+
+from repro.experiments.ablations import extensions_sweep
+from repro.metrics.report import render_table
+
+
+def test_ablation_extensions(benchmark, report):
+    rows = benchmark.pedantic(extensions_sweep, rounds=3, iterations=1)
+    body = render_table(
+        [
+            "slots",
+            "baseline Mpps (Virtex-I)",
+            "+compute-ahead Mpps",
+            "+Virtex-II Mpps",
+            "area factor",
+        ],
+        [
+            [
+                r["n_slots"],
+                f"{r['base_pps'] / 1e6:.2f}",
+                f"{r['compute_ahead_pps'] / 1e6:.2f}",
+                f"{r['virtex2_pps'] / 1e6:.2f}",
+                f"{r['area_factor']:.2f}x",
+            ]
+            for r in rows
+        ],
+    )
+    body += (
+        "\ncompute-ahead hides the PRIORITY_UPDATE cycle "
+        "(1 of 9-12 cycles); Virtex-II doubles the fabric clock"
+    )
+    report("Ablation: Section 6 extensions (compute-ahead, Virtex-II)", body)
+
+    first = rows[0]
+    assert first["virtex2_pps"] > 2 * first["base_pps"]

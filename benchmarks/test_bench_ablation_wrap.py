@@ -1,0 +1,78 @@
+"""Ablation: 16-bit serial deadline arithmetic vs ideal integers.
+
+DESIGN.md's interpretation note: hardware deadline comparisons are
+16-bit serial (wrap-aware), correct only while live deadlines stay
+within half the field's range (32,768 time units).  The overloaded
+max-finding workload violates that — head deadlines fall ever further
+behind the clock — so a pure-hardware counter *stops registering
+misses* once staleness crosses the horizon, while the ideal-arithmetic
+model keeps counting.  This ablation measures exactly where the two
+diverge, quantifying why Table 3 is reproduced in ideal mode (and what
+the real hardware's counters would have done on longer runs).
+"""
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, Routing
+from repro.core.scheduler import ShareStreamsScheduler
+from repro.metrics.report import render_table
+
+
+def _run(wrap: bool, n_cycles: int) -> tuple[list[int], int]:
+    arch = ArchConfig(n_slots=4, routing=Routing.WR, wrap=wrap)
+    s = ShareStreamsScheduler(
+        arch,
+        [
+            StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+            for i in range(4)
+        ],
+    )
+    for t in range(n_cycles):
+        for sid in range(4):
+            s.enqueue(sid, deadline=(sid + 1) + t, arrival=t)
+        s.decision_cycle(t, consume="winner", count_misses=True)
+    misses = [s.slot(i).counters.missed_deadlines for i in range(4)]
+    return misses, sum(misses)
+
+
+def test_ablation_wrap_horizon(benchmark, report):
+    def sweep():
+        rows = []
+        # Head staleness grows ~3t/4; it crosses the 32,768 horizon
+        # near t ~= 43,700 on this workload.
+        for n_cycles in (8_000, 24_000, 48_000):
+            _, ideal = _run(False, n_cycles)
+            _, wrapped = _run(True, n_cycles)
+            rows.append(
+                [
+                    n_cycles,
+                    ideal,
+                    wrapped,
+                    f"{wrapped / ideal:.2f}" if ideal else "-",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    body = render_table(
+        [
+            "decision cycles",
+            "ideal-arithmetic misses",
+            "16-bit serial misses",
+            "serial/ideal",
+        ],
+        rows,
+    )
+    body += (
+        "\nwithin the horizon the two agree exactly; past ~43.7k cycles "
+        "the wrapped comparator sees stale heads as 'future' and the "
+        "hardware counters undercount — the documented reason Table 3 "
+        "runs in ideal mode"
+    )
+    report("Ablation: serial (16-bit) vs ideal deadline arithmetic", body)
+
+    by_cycles = {r[0]: r for r in rows}
+    # In-horizon: identical counts.
+    assert by_cycles[8_000][1] == by_cycles[8_000][2]
+    assert by_cycles[24_000][1] == by_cycles[24_000][2]
+    # Past the horizon: the wrapped counter falls behind.
+    assert by_cycles[48_000][2] < by_cycles[48_000][1]

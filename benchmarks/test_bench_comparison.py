@@ -1,0 +1,28 @@
+"""Section 5.2 benchmark: throughput comparison with contemporary systems."""
+
+from repro.experiments.comparison import run_comparison
+from repro.metrics.report import render_table
+
+
+def test_section52_comparison(benchmark, report):
+    rows = benchmark.pedantic(
+        run_comparison,
+        kwargs={"frames_per_stream": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    body = render_table(
+        ["system", "packets/second", "source"],
+        [[r.system, f"{r.pps:,.0f}", r.source] for r in rows],
+    )
+    report("Section 5.2: Performance Comparison", body)
+
+    by_name = {r.system: r.pps for r in rows}
+    # Simulated anchors land on the published figures.
+    assert abs(by_name["ShareStreams linecard (4 slots, Virtex-I)"] - 7.6e6) < 1e4
+    assert abs(by_name["ShareStreams endsystem (no PCI transfer)"] - 469_483) < 5_000
+    assert abs(by_name["ShareStreams endsystem (PCI PIO included)"] - 299_065) < 3_000
+    # Ordering: hardware linecard >> any software router.
+    assert by_name["ShareStreams linecard (4 slots, Virtex-I)"] > 10 * by_name[
+        "Click modular router (700MHz P-III, plain)"
+    ]

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the behavioral model's own hot paths.
+
+Not a paper figure — these keep the simulation usable at the 64000-
+frame experiment scale (profile-first discipline from the HPC guides).
+"""
+
+import numpy as np
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, Routing
+from repro.core.scheduler import ShareStreamsScheduler
+from repro.sim.ring import ArrivalRing
+
+
+def _loaded_scheduler(n_slots: int, depth: int = 4096):
+    arch = ArchConfig(n_slots=n_slots, routing=Routing.WR, wrap=False)
+    scheduler = ShareStreamsScheduler(
+        arch,
+        [
+            StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+            for i in range(n_slots)
+        ],
+    )
+    for sid in range(n_slots):
+        for k in range(depth):
+            scheduler.enqueue(sid, deadline=(sid + 1) + k, arrival=k)
+    return scheduler
+
+
+def test_decision_cycle_rate_4_slots(benchmark, report):
+    scheduler = _loaded_scheduler(4)
+    clock = {"t": 0}
+
+    def one_cycle():
+        t = clock["t"]
+        clock["t"] += 1
+        return scheduler.decision_cycle(
+            t % 4000, consume="none", count_misses=False
+        )
+
+    benchmark(one_cycle)
+    report(
+        "Model speed: 4-slot decision cycle",
+        f"~{1 / benchmark.stats.stats.mean:,.0f} behavioral decisions/s "
+        f"(hardware model target: cycle-accurate, not wall-clock parity)",
+    )
+
+
+def test_decision_cycle_rate_32_slots(benchmark):
+    scheduler = _loaded_scheduler(32, depth=256)
+    clock = {"t": 0}
+
+    def one_cycle():
+        t = clock["t"]
+        clock["t"] += 1
+        return scheduler.decision_cycle(
+            t % 250, consume="none", count_misses=False
+        )
+
+    benchmark(one_cycle)
+
+
+def test_arrival_ring_batch_throughput(benchmark, report):
+    ring = ArrivalRing(1 << 16)
+    batch = np.arange(1024, dtype=np.uint16)
+
+    def push_pop():
+        ring.push_batch(batch)
+        return ring.pop_batch(1024)
+
+    out = benchmark(push_pop)
+    assert len(out) == 1024
+    report(
+        "Model speed: 16-bit arrival-ring batched transfer",
+        f"1024-offset batch in {benchmark.stats.stats.mean * 1e6:.1f} us "
+        "(vectorized ring, no per-element Python)",
+    )

@@ -1,0 +1,33 @@
+"""Figure 1 benchmark: framework realizability sweep."""
+
+from repro.experiments.figure1 import run_figure1
+from repro.metrics.report import render_table
+
+
+def test_figure1_framework_sweep(benchmark, report):
+    sweep = benchmark(run_figure1)
+    rows = []
+    for p in sweep.points:
+        if p.n_streams != 32:
+            continue  # print the headline 32-stream slice
+        rows.append(
+            [
+                p.discipline,
+                p.length_bytes,
+                f"{p.rate_bps / 1e9:.0f}G",
+                p.target,
+                f"{p.required_dps:,.0f}",
+                f"{p.achievable_dps:,.0f}",
+                "yes" if p.realizable else "no",
+            ]
+        )
+    body = render_table(
+        ["discipline", "frame B", "link", "target", "required dps", "achievable dps", "realizable"],
+        rows,
+    )
+    body += (
+        f"\nrealizable fraction: fpga={sweep.realizable_fraction('fpga'):.2f} "
+        f"software={sweep.realizable_fraction('software'):.2f}"
+    )
+    report("Figure 1: Architectural Solutions Framework (32-stream slice)", body)
+    assert sweep.realizable_fraction("fpga") > sweep.realizable_fraction("software")

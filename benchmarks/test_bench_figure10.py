@@ -1,0 +1,25 @@
+"""Figure 10 benchmark: 100-streamlet aggregation per stream-slot."""
+
+from repro.experiments.figure10 import run_figure10
+from repro.metrics.report import render_table
+
+FRAMES = 16_000  # per slot; scaled from the paper's 64000 for bench time
+
+
+def test_figure10_streamlet_aggregation(benchmark, report):
+    result = benchmark.pedantic(
+        run_figure10, args=(FRAMES,), rounds=1, iterations=1
+    )
+    rep = result.representative_mbps()
+    rows = [[group, f"{mbps:.4f}"] for group, mbps in rep.items()]
+    body = render_table(["slot/set", "streamlet MBps (mean)"], rows)
+    body += (
+        "\npaper: slots at 2/2/4/8 MBps with 100 streamlets each -> "
+        "0.02 / 0.02 / 0.04 MBps per streamlet; slot 4's set 1 at double "
+        "set 2's bandwidth"
+    )
+    report("Figure 10: Aggregation of 100 Streamlets into a Stream-slot", body)
+
+    assert abs(rep["slot1/set1"] - 0.02) < 0.005
+    assert abs(rep["slot3/set1"] - 0.04) < 0.01
+    assert abs(rep["slot4/set1"] / rep["slot4/set2"] - 2.0) < 0.2

@@ -1,0 +1,10 @@
+"""Figure 6 benchmark: the four-stream scheduler timeline."""
+
+from repro.experiments.figure6 import render_timeline, run_figure6
+
+
+def test_figure6_timeline(benchmark, report):
+    timeline = benchmark(run_figure6, 6)
+    report("Figure 6: ShareStreams Scheduler Timeline", render_timeline(timeline))
+    # LOAD once, then 6 SCHEDULE/PRIORITY_UPDATE pairs.
+    assert len(timeline) == 1 + 2 * 6

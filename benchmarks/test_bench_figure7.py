@@ -1,0 +1,34 @@
+"""Figure 7 benchmark: area-clock characteristics of BA vs WR."""
+
+from repro.experiments.figure7 import degradation_ba_vs_wr, run_figure7
+from repro.metrics.report import render_table
+
+
+def test_figure7_area_clock(benchmark, report):
+    points = benchmark(run_figure7)
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                p.n_slots,
+                p.routing.value.upper(),
+                round(p.slices),
+                round(p.area.total_clbs),
+                f"{p.area.utilization:.0%}",
+                f"{p.clock_mhz:.1f}",
+                p.sort_cycles,
+            ]
+        )
+    body = render_table(
+        ["slots", "variant", "slices", "CLBs", "util(XCV1000)", "clock MHz", "sort cycles"],
+        rows,
+    )
+    deg = degradation_ba_vs_wr(points)
+    body += "\nBA clock degradation vs WR: " + ", ".join(
+        f"{n}: {d:.0%}" for n, d in deg.items()
+    )
+    body += "\npaper: ~20% at 8/16 slots, ~10% at 32; area BA ~= WR; linear growth"
+    report("Figure 7: Area-Clock Rate Characteristics (Virtex-I)", body)
+
+    assert all(p.area.fits for p in points)
+    assert abs(deg[32] - 0.10) < 0.02

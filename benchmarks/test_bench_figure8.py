@@ -1,0 +1,38 @@
+"""Figure 8 benchmark: fair bandwidth allocation 1:1:2:4 at full scale."""
+
+from repro.experiments.figure8 import run_figure8
+from repro.metrics.report import render_series, render_table
+
+#: The paper transfers 64000 arrival times per queue.
+FRAMES = 64_000
+
+
+def test_figure8_bandwidth_allocation(benchmark, report):
+    result = benchmark.pedantic(
+        run_figure8, args=(FRAMES,), rounds=1, iterations=1
+    )
+    rows = [
+        [f"Stream {sid + 1}", f"{mbps:.2f}", f"{result.ratios[sid]:.2f}"]
+        for sid, mbps in sorted(result.steady_mbps.items())
+    ]
+    body = render_table(
+        ["stream", "steady MBps", "ratio"], rows
+    )
+    body += "\npaper: 2.0 / 2.0 / 4.0 / 8.0 MBps (1:1:2:4)\n"
+    for sid, series in sorted(result.series.items()):
+        body += (
+            render_series(
+                f"stream {sid + 1}",
+                series.times_us / 1e6,
+                series.mbps,
+                max_points=12,
+                x_unit="s",
+                y_unit="MBps",
+            )
+            + "\n"
+        )
+    report("Figure 8: Fair Bandwidth Allocation (1:1:2:4)", body.rstrip())
+
+    assert abs(result.ratios[3] - 4.0) < 0.2
+    assert abs(result.steady_mbps[3] - 8.0) < 0.5
+    assert abs(result.ratios[2] - 2.0) < 0.1

@@ -1,0 +1,87 @@
+"""Table 3 benchmark: block decisions vs max-finding at full paper scale.
+
+Regenerates the paper's headline table — missed deadlines and decision
+cycles for the max-finding, block/max-first and block/min-first
+configurations with 4 streams and 64000 frames — and benchmarks the
+cycle-level scheduler run that produces it.
+"""
+
+from repro.core.config import BlockMode
+from repro.experiments.table3 import run_block, run_max_finding
+from repro.metrics.report import render_table
+
+#: Full paper scale: 16000 frames per stream (64000 total).
+FRAMES = 16_000
+
+PAPER_ROWS = {
+    "max_finding": {"missed": (63986, 63987, 63988, 63989), "cycles": 64000},
+    "block_max_first": {"missed": (0, 0, 0, 0), "cycles": 16000},
+    "block_min_first": {
+        "missed": (27839, 27214, 22621, 29311),
+        "cycles": 16000,
+    },
+}
+
+
+def _render(results) -> str:
+    headers = [
+        "Stream-Slot",
+        "Max-finding missed",
+        "MF winner cycles",
+        "Max-first missed",
+        "Min-first missed",
+        "Block winner cycles",
+    ]
+    mf, bmax, bmin = results
+    rows = []
+    for i in range(4):
+        rows.append(
+            [
+                f"Stream {i + 1}",
+                mf.rows[i].missed_deadlines,
+                mf.rows[i].winner_cycles,
+                bmax.rows[i].missed_deadlines,
+                bmin.rows[i].missed_deadlines,
+                bmax.rows[i].winner_cycles,
+            ]
+        )
+    rows.append(
+        [
+            "Total",
+            mf.total_missed,
+            mf.decision_cycles,
+            bmax.total_missed,
+            bmin.total_missed,
+            bmax.decision_cycles,
+        ]
+    )
+    body = render_table(headers, rows)
+    body += (
+        "\npaper totals: max-finding 255,950 missed / 64,000 cycles; "
+        "max-first 0 missed / 16,000 cycles (4,000 wins each); "
+        "min-first 106,985 missed / 16,000 cycles"
+    )
+    return body
+
+
+def test_table3_full_scale(benchmark, report):
+    def run_all():
+        return (
+            run_max_finding(FRAMES),
+            run_block(BlockMode.MAX_FIRST, FRAMES),
+            run_block(BlockMode.MIN_FIRST, FRAMES),
+        )
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    mf, bmax, bmin = results
+    report("Table 3: Comparing Block Decisions and Max-finding", _render(results))
+
+    # Reproduction assertions (shape, per EXPERIMENTS.md):
+    assert mf.decision_cycles == 64_000
+    assert bmax.decision_cycles == 16_000
+    for row in mf.rows:
+        assert row.missed_deadlines >= 63_980
+    assert bmax.total_missed == 0
+    for row in bmax.rows:
+        assert 3_900 <= row.winner_cycles <= 4_100
+    assert bmin.total_missed > 16_000

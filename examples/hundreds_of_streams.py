@@ -1,0 +1,113 @@
+"""Hundreds of streams on one chip (the Section 6 goal).
+
+"We are currently integrating those elements of the architecture that
+will allow us to construct, demonstrate and run a system with hundreds
+of streams."  This example does exactly that with the pieces the paper
+already provides: a 32-slot scheduler (the largest single-chip design
+Figure 7 evaluates) with 32 streamlets aggregated per slot — 1024
+streams — plus per-slot weighted QoS.
+
+Run:  python examples/hundreds_of_streams.py
+"""
+
+from repro.core import (
+    ArchConfig,
+    Routing,
+    SchedulingMode,
+    ShareStreamsScheduler,
+    StreamConfig,
+)
+from repro.core.config import Routing
+from repro.endsystem.aggregation import AggregatedSlot, StreamletSet
+from repro.hwmodel import area_model, clock_rate_mhz
+from repro.metrics.report import render_table
+
+N_SLOTS = 32
+STREAMLETS_PER_SLOT = 32
+
+
+def main() -> None:
+    # Slot i gets weight 1 + i//8 (four weight classes of 8 slots).
+    weights = [1 + (i // 8) for i in range(N_SLOTS)]
+    periods = [max(w for w in weights) * 4 // w for i, w in enumerate(weights)]
+
+    arch = ArchConfig(n_slots=N_SLOTS, routing=Routing.WR, wrap=False)
+    scheduler = ShareStreamsScheduler(
+        arch,
+        [
+            StreamConfig(
+                sid=i,
+                period=periods[i],
+                loss_numerator=1,
+                loss_denominator=2,
+                mode=SchedulingMode.FAIR_SHARE,
+            )
+            for i in range(N_SLOTS)
+        ],
+    )
+    aggregators = {
+        i: AggregatedSlot(i, [StreamletSet(0, STREAMLETS_PER_SLOT)])
+        for i in range(N_SLOTS)
+    }
+
+    # Fully backlogged: every slot always has requests.
+    n_cycles = 16_000
+    depth = n_cycles  # enough pending requests per slot
+    for sid in range(N_SLOTS):
+        for k in range(depth // periods[sid] + 2):
+            scheduler.enqueue(sid, deadline=(k + 1) * periods[sid], arrival=0)
+
+    service = [0] * N_SLOTS
+    streamlet_hits: dict[tuple, int] = {}
+    for t in range(n_cycles):
+        outcome = scheduler.decision_cycle(t, consume="winner", count_misses=False)
+        sid = outcome.circulated_sid
+        if sid is None:
+            continue
+        service[sid] += 1
+        key = aggregators[sid].pick()
+        streamlet_hits[key] = streamlet_hits.get(key, 0) + 1
+
+    total_streams = N_SLOTS * STREAMLETS_PER_SLOT
+    print(
+        f"{total_streams} streams ({N_SLOTS} slots x {STREAMLETS_PER_SLOT} "
+        f"streamlets), {n_cycles:,} decision cycles\n"
+    )
+
+    rows = []
+    for cls in range(4):
+        slots = [i for i in range(N_SLOTS) if i // 8 == cls]
+        got = sum(service[i] for i in slots)
+        hits = [
+            streamlet_hits.get((i, 0, j), 0)
+            for i in slots
+            for j in range(STREAMLETS_PER_SLOT)
+        ]
+        rows.append(
+            [
+                f"class {cls + 1} (weight {cls + 1})",
+                len(slots) * STREAMLETS_PER_SLOT,
+                got,
+                f"{got / n_cycles:.1%}",
+                f"{min(hits)}..{max(hits)}",
+            ]
+        )
+    print(
+        render_table(
+            ["weight class", "streams", "slot services", "share", "per-streamlet services"],
+            rows,
+        )
+    )
+
+    area = area_model(N_SLOTS, Routing.WR)
+    print(
+        f"\nFPGA budget: {area.total_slices:.0f} slices "
+        f"({area.utilization:.0%} of a Virtex 1000) at "
+        f"{clock_rate_mhz(N_SLOTS, Routing.WR):.0f} MHz — "
+        f"{total_streams} streams would need "
+        f"{total_streams * 150:,} slices without aggregation"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Wire-speed explorer: the Figure 1 framework as a tool.
+
+Answers the paper's framework questions for a configuration you pick:
+given a stream count, frame size and link rate, can the scheduling
+rate be realized — on a processor, and on the FPGA canonical
+architecture (winner-only and block configurations)?
+
+Run:  python examples/wirespeed_explorer.py [n_streams] [frame_bytes] [gbps]
+e.g.  python examples/wirespeed_explorer.py 32 64 10
+"""
+
+import sys
+
+from repro.core.config import Routing
+from repro.framework import (
+    SOFTWARE_LATENCY_US,
+    evaluate_point,
+    feasibility,
+    packet_time_us,
+)
+from repro.metrics.report import render_table
+
+
+def main(n_streams: int = 32, frame_bytes: int = 1500, gbps: float = 10.0) -> None:
+    rate = gbps * 1e9
+    pt = packet_time_us(frame_bytes, rate)
+    print(
+        f"{n_streams} streams, {frame_bytes}-byte frames on a "
+        f"{gbps:g} Gb/s link -> packet-time {pt:.3f} us "
+        f"({1e6 / pt:,.0f} decisions/s required)\n"
+    )
+
+    rows = []
+    for label, kwargs in [
+        ("FPGA, winner-only (WR)", dict(routing=Routing.WR, block=False)),
+        ("FPGA, block (BA)", dict(routing=Routing.BA, block=True)),
+    ]:
+        point = feasibility(n_streams, frame_bytes, rate, **kwargs)
+        rows.append(
+            [
+                label,
+                f"{point.effective_decision_us:.3f}",
+                f"{point.margin:.1f}x",
+                "yes" if point.feasible else "NO",
+            ]
+        )
+    sw = evaluate_point(
+        "dwcs",
+        n_streams,
+        frame_bytes,
+        rate,
+        target="software",
+        software_latency_us=50.0,
+    )
+    rows.append(
+        [
+            "software DWCS (P-III class, 50us)",
+            "50.000",
+            f"{sw.headroom:.3f}x",
+            "yes" if sw.realizable else "NO",
+        ]
+    )
+    print(
+        render_table(
+            ["target", "per-packet decision us", "headroom", "meets wire-speed"],
+            rows,
+        )
+    )
+
+    print("\nmeasured software scheduler latencies the paper cites:")
+    for system, us in SOFTWARE_LATENCY_US.items():
+        verdict = "ok" if us <= pt else "too slow"
+        print(f"  {system:48s} {us:5.1f} us  [{verdict}]")
+
+
+if __name__ == "__main__":
+    args = [float(a) for a in sys.argv[1:]]
+    main(
+        int(args[0]) if len(args) > 0 else 32,
+        int(args[1]) if len(args) > 1 else 1500,
+        args[2] if len(args) > 2 else 10.0,
+    )

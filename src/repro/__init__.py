@@ -1,0 +1,61 @@
+"""ShareStreams QoS architecture reproduction (IPPS 2003).
+
+A behavioral, laptop-scale reproduction of *"Leveraging Block Decisions
+and Aggregation in the ShareStreams QoS Architecture"* (Krishnamurthy,
+Yalamanchili, Schwan, West): a unified canonical architecture for
+priority-class, fair-queuing and window-constrained packet schedulers,
+with its Endsystem/host-router and switch line-card realizations.
+
+Sub-packages
+------------
+``repro.core``
+    The canonical scheduler architecture: Register Base blocks,
+    Decision blocks, the recirculating shuffle-exchange network, the
+    control FSM, and the composed cycle-level scheduler.
+``repro.disciplines``
+    Pure-software reference scheduling disciplines (DWCS, EDF, static
+    priority, WFQ, SFQ, DRR, FCFS) used as baselines and oracles.
+``repro.hwmodel``
+    Calibrated Virtex FPGA area / clock-rate / throughput models
+    (Figure 7, Section 5.2).
+``repro.sim``
+    Discrete-event simulation substrate: engine, circular queues,
+    banked SRAM, PCI bus, NIC/link models.
+``repro.endsystem``
+    The Endsystem/host-router realization: queue manager, streaming
+    unit, transmission engine, streamlet aggregation.
+``repro.linecard``
+    The switch line-card realization (dual-ported SRAM feed).
+``repro.traffic``
+    Workload generators (CBR, bursty, Poisson) and stream specs.
+``repro.metrics``
+    Bandwidth / delay / counter instrumentation and report rendering.
+``repro.framework``
+    The Section 2 architectural framework: packet-time feasibility and
+    implementation-complexity models (Figure 1).
+``repro.experiments``
+    One driver per table and figure in the paper's evaluation.
+"""
+
+from repro.core import (
+    ArchConfig,
+    BlockMode,
+    DecisionOutcome,
+    Routing,
+    SchedulingMode,
+    ShareStreamsScheduler,
+    StreamConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "BlockMode",
+    "DecisionOutcome",
+    "Routing",
+    "SchedulingMode",
+    "ShareStreamsScheduler",
+    "StreamConfig",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — regenerate the paper's tables and figures."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

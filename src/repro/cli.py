@@ -1,0 +1,381 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro table3 [--frames N]  # the headline experiment
+    python -m repro figure8 [--frames N]
+    python -m repro comparison
+    ...
+
+Each subcommand runs the corresponding experiment driver and prints
+the reproduced rows/series next to the paper's reported values — the
+same output the benchmark harness records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import BlockMode
+from repro.metrics.report import render_series, render_table
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> None:
+    from repro.experiments.table1 import (
+        build_table1,
+        witness_dwcs_dynamics,
+        witness_tag_stability,
+    )
+
+    rows = build_table1()
+    print(
+        render_table(
+            ["Characteristic", "Priority-class", "Fair-queuing", "Window-constrained"],
+            [
+                [r.characteristic, r.priority_class, r.fair_queuing, r.window_constrained]
+                for r in rows
+            ],
+            title="Table 1: Comparing Scheduling Disciplines",
+        )
+    )
+    print(
+        f"witnesses: FQ tags immutable={witness_tag_stability()}, "
+        f"DWCS dynamic priorities={witness_dwcs_dynamics()}"
+    )
+
+
+def _cmd_table2(args) -> None:
+    from repro.experiments.table2 import run_rule_coverage
+
+    cov = run_rule_coverage()
+    print(
+        render_table(
+            ["Rule", "pairs resolved"],
+            sorted(
+                ((r.value, n) for r, n in cov.counts.items()),
+                key=lambda x: -x[1],
+            ),
+            title="Table 2: decision-rule coverage",
+        )
+    )
+    print(f"all substantive rules fired: {cov.all_rules_fired}")
+
+
+def _cmd_table3(args) -> None:
+    from repro.experiments.table3 import run_block, run_max_finding
+
+    frames = args.frames or 16_000
+    mf = run_max_finding(frames)
+    bmax = run_block(BlockMode.MAX_FIRST, frames)
+    bmin = run_block(BlockMode.MIN_FIRST, frames)
+    rows = []
+    for i in range(4):
+        rows.append(
+            [
+                f"Stream {i + 1}",
+                mf.rows[i].missed_deadlines,
+                bmax.rows[i].missed_deadlines,
+                bmin.rows[i].missed_deadlines,
+                bmax.rows[i].winner_cycles,
+            ]
+        )
+    rows.append(
+        ["Total", mf.total_missed, bmax.total_missed, bmin.total_missed, bmax.decision_cycles]
+    )
+    print(
+        render_table(
+            [
+                "Stream-Slot",
+                "Max-finding missed",
+                "Max-first missed",
+                "Min-first missed",
+                "Block winner cycles",
+            ],
+            rows,
+            title=f"Table 3 at {frames} frames/stream "
+            f"(max-finding: {mf.decision_cycles} cycles, block: {bmax.decision_cycles})",
+        )
+    )
+
+
+def _cmd_figure1(args) -> None:
+    from repro.experiments.figure1 import run_figure1
+
+    sweep = run_figure1()
+    print(
+        f"Figure 1 framework sweep: fpga realizable "
+        f"{sweep.realizable_fraction('fpga'):.2f}, software "
+        f"{sweep.realizable_fraction('software'):.2f}"
+    )
+    rows = [
+        [
+            p.discipline,
+            p.n_streams,
+            p.length_bytes,
+            f"{p.rate_bps / 1e9:g}G",
+            p.target,
+            "yes" if p.realizable else "no",
+        ]
+        for p in sweep.points
+        if p.length_bytes == 64
+    ]
+    print(
+        render_table(
+            ["discipline", "streams", "frame", "link", "target", "realizable"],
+            rows,
+            title="64-byte-frame slice",
+        )
+    )
+
+
+def _cmd_figure6(args) -> None:
+    from repro.experiments.figure6 import render_timeline, run_figure6
+
+    print("Figure 6: scheduler timeline (4 stream-slots)")
+    print(render_timeline(run_figure6(args.frames or 6)))
+
+
+def _cmd_figure7(args) -> None:
+    from repro.experiments.figure7 import degradation_ba_vs_wr, run_figure7
+
+    points = run_figure7()
+    print(
+        render_table(
+            ["slots", "variant", "slices", "clock MHz", "sort cycles"],
+            [
+                [p.n_slots, p.routing.value.upper(), round(p.slices), f"{p.clock_mhz:.1f}", p.sort_cycles]
+                for p in points
+            ],
+            title="Figure 7: area-clock characteristics (Virtex-I)",
+        )
+    )
+    deg = degradation_ba_vs_wr(points)
+    print("BA vs WR clock: " + ", ".join(f"{n}:{d:.0%}" for n, d in deg.items()))
+
+
+def _cmd_figure8(args) -> None:
+    from repro.experiments.figure8 import run_figure8
+
+    result = run_figure8(args.frames or 16_000)
+    print(
+        render_table(
+            ["stream", "steady MBps", "ratio"],
+            [
+                [f"Stream {sid + 1}", f"{mbps:.2f}", f"{result.ratios[sid]:.2f}"]
+                for sid, mbps in sorted(result.steady_mbps.items())
+            ],
+            title="Figure 8: fair bandwidth allocation (paper: 2/2/4/8 MBps)",
+        )
+    )
+
+
+def _cmd_figure9(args) -> None:
+    from repro.experiments.figure9 import run_figure9
+
+    result = run_figure9(n_bursts=3, burst_size=args.frames or 4000)
+    delays = result.mean_delays_us()
+    print(
+        render_table(
+            ["stream", "mean delay ms", "zigzag score"],
+            [
+                [
+                    f"Stream {sid + 1}",
+                    f"{delays[sid] / 1e3:.2f}",
+                    f"{result.zigzag_score(sid, args.frames or 4000):.2f}",
+                ]
+                for sid in sorted(delays)
+            ],
+            title="Figure 9: queuing delay under bursty arrivals",
+        )
+    )
+    for sid in sorted(delays):
+        s = result.series[sid]
+        print(
+            render_series(
+                f"stream {sid + 1}",
+                s.departures_us / 1e6,
+                s.delays_us / 1e3,
+                max_points=10,
+                x_unit="s",
+                y_unit="ms",
+            )
+        )
+
+
+def _cmd_figure10(args) -> None:
+    from repro.experiments.figure10 import run_figure10
+
+    result = run_figure10(args.frames or 16_000)
+    print(
+        render_table(
+            ["slot/set", "streamlet MBps"],
+            [[g, f"{v:.4f}"] for g, v in result.representative_mbps().items()],
+            title="Figure 10: 100-streamlet aggregation "
+            "(paper: 0.02/0.02/0.04; slot4 set1 = 2x set2)",
+        )
+    )
+
+
+def _cmd_comparison(args) -> None:
+    from repro.experiments.comparison import run_comparison
+
+    rows = run_comparison(frames_per_stream=args.frames or 4000)
+    print(
+        render_table(
+            ["system", "packets/second", "source"],
+            [[r.system, f"{r.pps:,.0f}", r.source] for r in rows],
+            title="Section 5.2: performance comparison",
+        )
+    )
+
+
+def _cmd_ablation_sort(args) -> None:
+    from repro.experiments.ablations import sort_schedule_sweep
+
+    points = sort_schedule_sweep(trials=args.frames or 200)
+    print(
+        render_table(
+            ["slots", "schedule", "passes", "blocks fully sorted"],
+            [
+                [p.n_slots, p.schedule, p.passes, f"{p.fully_sorted_fraction:.2f}"]
+                for p in points
+            ],
+            title="Ablation: recirculation schedule vs block-order quality",
+        )
+    )
+
+
+def _cmd_ablation_transfers(args) -> None:
+    from repro.experiments.ablations import pio_dma_crossover, transfer_cost_sweep
+
+    print(
+        render_table(
+            ["words", "PIO us", "DMA us", "best"],
+            [
+                [w, f"{p:.2f}", f"{d:.2f}", best]
+                for w, p, d, best in pio_dma_crossover()
+            ],
+            title="PIO vs DMA crossover",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["per-frame PIO cost us", "endsystem pps"],
+            [
+                [f"{c:.2f}", f"{pps:,.0f}"]
+                for c, pps in transfer_cost_sweep(
+                    frames_per_stream=args.frames or 600
+                )
+            ],
+            title="endsystem throughput vs transfer cost",
+        )
+    )
+
+
+def _cmd_ablation_extensions(args) -> None:
+    from repro.experiments.ablations import extensions_sweep
+
+    print(
+        render_table(
+            ["slots", "baseline Mpps", "+compute-ahead", "+Virtex-II", "area factor"],
+            [
+                [
+                    r["n_slots"],
+                    f"{r['base_pps'] / 1e6:.2f}",
+                    f"{r['compute_ahead_pps'] / 1e6:.2f}",
+                    f"{r['virtex2_pps'] / 1e6:.2f}",
+                    f"{r['area_factor']:.2f}x",
+                ]
+                for r in extensions_sweep()
+            ],
+            title="Section 6 extensions",
+        )
+    )
+
+
+def _cmd_verilog(args) -> None:
+    from repro.core.config import ArchConfig
+    from repro.core.hdl import emit_verilog
+
+    print(emit_verilog(ArchConfig(n_slots=args.slots)))
+
+
+def _cmd_isolation(args) -> None:
+    from repro.experiments.isolation import run_isolation
+
+    results = run_isolation(horizon=args.frames or 4000)
+    print(
+        render_table(
+            ["system", "queues", "rt miss rate", "tight-flow p99 delay"],
+            [
+                [
+                    r.system,
+                    r.queues,
+                    f"{r.rt_miss_rate:.1%}",
+                    f"{r.tight_flow_p99_delay:.1f}",
+                ]
+                for r in results
+            ],
+            title="Per-flow isolation vs Section 5.2 line-card peers",
+        )
+    )
+
+
+_COMMANDS = {
+    "verilog": _cmd_verilog,
+    "isolation": _cmd_isolation,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "figure1": _cmd_figure1,
+    "figure6": _cmd_figure6,
+    "figure7": _cmd_figure7,
+    "figure8": _cmd_figure8,
+    "figure9": _cmd_figure9,
+    "figure10": _cmd_figure10,
+    "comparison": _cmd_comparison,
+    "ablation-sort": _cmd_ablation_sort,
+    "ablation-transfers": _cmd_ablation_transfers,
+    "ablation-extensions": _cmd_ablation_extensions,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the ShareStreams paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["list"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="workload size override (frames per stream / burst size)",
+    )
+    parser.add_argument(
+        "--slots",
+        type=int,
+        default=4,
+        help="stream-slot count (verilog generation)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(_COMMANDS):
+            print(name)
+        return 0
+    _COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

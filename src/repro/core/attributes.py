@@ -1,0 +1,243 @@
+"""Per-stream service attributes stored in Register Base blocks.
+
+Figure 4 of the paper shows the exact attribute bundle a Register Base
+block ("stream-slot") drives onto the shuffle network each cycle:
+
+* 16-bit packet **deadline**,
+* 8-bit **loss numerator** ``x'`` (current window-constraint numerator),
+* 8-bit **loss denominator** ``y'`` (current window-constraint denominator),
+* 16-bit **arrival time** of the head packet,
+* 5-bit **register / stream ID**.
+
+:class:`HardwareAttributes` models that bundle (the mutable register
+contents), and :class:`StreamConfig` the immutable stream service
+*constraints* the systems software loads into a slot (request period
+``T``, original window-constraint ``x/y``, scheduling mode).
+
+The attributes can be packed into / unpacked from a single integer word
+exactly as they travel over the recirculating shuffle wires, which the
+tests use to show the behavioral model and the "wire" representation
+agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.fields import (
+    ARRIVAL_FIELD,
+    DEADLINE_FIELD,
+    LOSS_DEN_FIELD,
+    LOSS_NUM_FIELD,
+    STREAM_ID_FIELD,
+    serial_add,
+)
+
+__all__ = [
+    "SchedulingMode",
+    "StreamConfig",
+    "HardwareAttributes",
+    "pack_attributes",
+    "unpack_attributes",
+    "ATTRIBUTE_WORD_BITS",
+]
+
+
+class SchedulingMode(enum.Enum):
+    """Per-stream scheduling mode mapped onto the canonical architecture.
+
+    The unified architecture realizes a whole spectrum of disciplines by
+    selecting which attributes participate in ordering and whether the
+    PRIORITY_UPDATE cycle runs (Section 4.3):
+
+    * ``DWCS`` — full window-constrained operation: all of Table 2's
+      rules apply and winner/loser attribute adjustment runs every
+      decision cycle.
+    * ``EDF`` — earliest-deadline-first: ordering uses the deadline
+      field only; the update cycle merely advances the winner's
+      deadline by its request period.
+    * ``STATIC_PRIORITY`` — the deadline field carries a time-invariant
+      priority (smaller = more urgent); no attribute ever changes.
+    * ``FAIR_SHARE`` — window-constraints encode bandwidth shares; DWCS
+      adjustment yields proportional service (Section 5's 1:1:2:4 runs).
+    * ``SERVICE_TAG`` — fair-queuing mapping: software computes a
+      start/finish tag per packet, deposits it in the deadline field,
+      and the update cycle is bypassed entirely (LOAD + SCHEDULE only).
+    """
+
+    DWCS = "dwcs"
+    EDF = "edf"
+    STATIC_PRIORITY = "static_priority"
+    FAIR_SHARE = "fair_share"
+    SERVICE_TAG = "service_tag"
+
+    @property
+    def updates_priority(self) -> bool:
+        """Whether the PRIORITY_UPDATE cycle alters this stream's state."""
+        return self in (
+            SchedulingMode.DWCS,
+            SchedulingMode.EDF,
+            SchedulingMode.FAIR_SHARE,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class StreamConfig:
+    """Immutable service constraints for one stream (or streamlet set).
+
+    Parameters
+    ----------
+    sid:
+        Stream / register identifier (must fit the 5-bit field).
+    period:
+        Request period ``T`` — interval between deadlines of two
+        successive packets of the stream, in scheduler time units.
+    loss_numerator, loss_denominator:
+        Original window-constraint ``W = x / y``: up to ``x`` packets
+        may be lost or late in any window of ``y`` consecutive packets.
+        ``(0, 0)`` means "no window constraint" (pure EDF behavior).
+    initial_deadline:
+        Deadline assigned to the first packet.
+    mode:
+        Scheduling mode mapped onto the slot; see :class:`SchedulingMode`.
+    """
+
+    sid: int
+    period: int = 1
+    loss_numerator: int = 0
+    loss_denominator: int = 0
+    initial_deadline: int = 0
+    mode: SchedulingMode = SchedulingMode.DWCS
+
+    def __post_init__(self) -> None:
+        STREAM_ID_FIELD.check(self.sid)
+        LOSS_NUM_FIELD.check(self.loss_numerator)
+        LOSS_DEN_FIELD.check(self.loss_denominator)
+        DEADLINE_FIELD.check(self.initial_deadline)
+        if self.period < 0:
+            raise ValueError(f"period must be non-negative, got {self.period}")
+        if self.loss_numerator > self.loss_denominator:
+            raise ValueError(
+                "window-constraint numerator exceeds denominator: "
+                f"{self.loss_numerator}/{self.loss_denominator}"
+            )
+
+    @property
+    def window_constraint(self) -> float:
+        """The original loss-tolerance ratio ``W = x / y`` (0 if y == 0)."""
+        if self.loss_denominator == 0:
+            return 0.0
+        return self.loss_numerator / self.loss_denominator
+
+
+@dataclass(slots=True)
+class HardwareAttributes:
+    """Mutable register contents of one stream-slot, as driven on wires.
+
+    ``deadline`` and ``arrival`` are 16-bit serials; ``loss_numerator``
+    / ``loss_denominator`` are the *current* window counters ``x'`` and
+    ``y'`` that the PRIORITY_UPDATE cycle adjusts; ``sid`` tags the
+    bundle so the winner ID can be circulated back (Figure 4).
+    """
+
+    sid: int
+    deadline: int = 0
+    loss_numerator: int = 0
+    loss_denominator: int = 0
+    arrival: int = 0
+    valid: bool = True
+    mode: SchedulingMode = field(default=SchedulingMode.DWCS)
+
+    def __post_init__(self) -> None:
+        # Only the identity and window fields are hard 5/8-bit hardware
+        # quantities everywhere; deadline/arrival may exceed 16 bits in
+        # the *ideal-arithmetic* mode (wrap=False), so their width is
+        # enforced at the wire boundary (:func:`pack_attributes`) and
+        # by the register blocks when wrapping is on.
+        STREAM_ID_FIELD.check(self.sid)
+        LOSS_NUM_FIELD.check(self.loss_numerator)
+        LOSS_DEN_FIELD.check(self.loss_denominator)
+        if self.deadline < 0 or self.arrival < 0:
+            raise ValueError("deadline and arrival must be non-negative")
+
+    @classmethod
+    def from_config(cls, config: StreamConfig, arrival: int = 0) -> "HardwareAttributes":
+        """Initialize slot registers from a loaded stream configuration."""
+        return cls(
+            sid=config.sid,
+            deadline=config.initial_deadline,
+            loss_numerator=config.loss_numerator,
+            loss_denominator=config.loss_denominator,
+            arrival=arrival,
+            mode=config.mode,
+        )
+
+    @property
+    def window_constraint(self) -> float:
+        """Current loss-tolerance ratio ``W' = x' / y'`` (0 if y' == 0)."""
+        if self.loss_denominator == 0:
+            return 0.0
+        return self.loss_numerator / self.loss_denominator
+
+    def advance_deadline(self, period: int) -> None:
+        """Move the deadline to the next request period (16-bit wrap)."""
+        self.deadline = serial_add(self.deadline, period)
+
+    def copy(self) -> "HardwareAttributes":
+        """Value copy, as latched by a Decision block input register."""
+        return HardwareAttributes(
+            sid=self.sid,
+            deadline=self.deadline,
+            loss_numerator=self.loss_numerator,
+            loss_denominator=self.loss_denominator,
+            arrival=self.arrival,
+            valid=self.valid,
+            mode=self.mode,
+        )
+
+
+# Wire layout of the attribute bundle, most significant field first:
+# deadline(16) | x'(8) | y'(8) | arrival(16) | sid(5) | valid(1)
+_LAYOUT = (
+    ("deadline", DEADLINE_FIELD.bits),
+    ("loss_numerator", LOSS_NUM_FIELD.bits),
+    ("loss_denominator", LOSS_DEN_FIELD.bits),
+    ("arrival", ARRIVAL_FIELD.bits),
+    ("sid", STREAM_ID_FIELD.bits),
+    ("valid", 1),
+)
+
+#: Total width of the attribute bundle on the shuffle wires.
+ATTRIBUTE_WORD_BITS = sum(bits for _, bits in _LAYOUT)
+
+
+def pack_attributes(attrs: HardwareAttributes) -> int:
+    """Pack an attribute bundle into the integer word carried on wires."""
+    word = 0
+    for name, bits in _LAYOUT:
+        value = getattr(attrs, name)
+        value = int(value)
+        if not 0 <= value < (1 << bits):
+            raise ValueError(f"{name}={value} does not fit in {bits} bits")
+        word = (word << bits) | value
+    return word
+
+
+def unpack_attributes(word: int, mode: SchedulingMode = SchedulingMode.DWCS) -> HardwareAttributes:
+    """Inverse of :func:`pack_attributes`."""
+    if not 0 <= word < (1 << ATTRIBUTE_WORD_BITS):
+        raise ValueError(f"word {word} does not fit in {ATTRIBUTE_WORD_BITS} bits")
+    values: dict[str, int] = {}
+    for name, bits in reversed(_LAYOUT):
+        values[name] = word & ((1 << bits) - 1)
+        word >>= bits
+    return HardwareAttributes(
+        sid=values["sid"],
+        deadline=values["deadline"],
+        loss_numerator=values["loss_numerator"],
+        loss_denominator=values["loss_denominator"],
+        arrival=values["arrival"],
+        valid=bool(values["valid"]),
+        mode=mode,
+    )

@@ -1,0 +1,129 @@
+"""Bit-true Decision-block datapath on packed attribute words.
+
+:mod:`repro.core.rules` models the Decision block over attribute
+*objects*.  This module re-implements the same single-cycle decision at
+the level the hardware actually works: field extraction and comparison
+on the packed 54-bit words that travel the shuffle wires
+(see :func:`repro.core.attributes.pack_attributes` for the layout).
+
+Every predicate is computed the way combinational logic would:
+
+* 16-bit *serial* deadline/arrival comparison as a subtract-and-test-
+  MSB on the wrapped difference;
+* window-constraint comparison as two 8x8 multiplies (the products the
+  paper wants on Virtex-II hard multipliers) plus zero-detectors;
+* a priority encoder selecting the fired rule.
+
+The property tests drive random words through both implementations and
+require bit-identical winners — the repository's "RTL vs golden model"
+check.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import ATTRIBUTE_WORD_BITS
+
+__all__ = [
+    "extract_fields",
+    "serial_less_16",
+    "compare_packed",
+    "decide_packed",
+]
+
+# Field offsets (LSB positions) in the packed word, derived from the
+# layout: deadline(16) | x(8) | y(8) | arrival(16) | sid(5) | valid(1).
+_VALID_POS = 0
+_SID_POS = 1
+_ARRIVAL_POS = 6
+_Y_POS = 22
+_X_POS = 30
+_DEADLINE_POS = 38
+
+_MASK16 = 0xFFFF
+_MASK8 = 0xFF
+_MASK5 = 0x1F
+
+
+def extract_fields(word: int) -> tuple[int, int, int, int, int, int]:
+    """Split a packed word into (deadline, x, y, arrival, sid, valid)."""
+    if not 0 <= word < (1 << ATTRIBUTE_WORD_BITS):
+        raise ValueError("word out of range for the attribute layout")
+    return (
+        (word >> _DEADLINE_POS) & _MASK16,
+        (word >> _X_POS) & _MASK8,
+        (word >> _Y_POS) & _MASK8,
+        (word >> _ARRIVAL_POS) & _MASK16,
+        (word >> _SID_POS) & _MASK5,
+        (word >> _VALID_POS) & 1,
+    )
+
+
+def serial_less_16(a: int, b: int) -> bool:
+    """16-bit serial (wrap-aware) a < b: subtract, test the MSB.
+
+    The hardware computes ``b - a`` modulo 2**16 and declares ``a``
+    earlier when the difference is non-zero with a clear... precisely:
+    ``a`` precedes ``b`` iff ``(a - b) mod 2**16`` has its MSB set.
+    """
+    if a == b:
+        return False
+    return ((a - b) & _MASK16) >= 0x8000
+
+
+def compare_packed(word_a: int, word_b: int, *, deadline_only: bool = False) -> int:
+    """Single-cycle pairwise decision on packed words.
+
+    Returns ``-1`` when ``word_a`` wins (higher priority), ``+1`` when
+    ``word_b`` does — the same contract as
+    :func:`repro.core.rules.compare` with ``wrap=True``.
+    """
+    dl_a, x_a, y_a, ar_a, sid_a, v_a = extract_fields(word_a)
+    dl_b, x_b, y_b, ar_b, sid_b, v_b = extract_fields(word_b)
+
+    # Concurrent predicate evaluation (all "gates" computed up-front).
+    a_first_validity = v_a and not v_b
+    b_first_validity = v_b and not v_a
+    dl_a_lt = serial_less_16(dl_a, dl_b)
+    dl_b_lt = serial_less_16(dl_b, dl_a)
+    a_zero = (x_a == 0) | (y_a == 0)
+    b_zero = (x_b == 0) | (y_b == 0)
+    # 8x8 hard-multiplier products for the ratio comparison.
+    prod_a = x_a * y_b
+    prod_b = x_b * y_a
+    ar_a_lt = serial_less_16(ar_a, ar_b)
+    ar_b_lt = serial_less_16(ar_b, ar_a)
+
+    # Priority encoder (the Figure 5 mux cascade).
+    if a_first_validity:
+        return -1
+    if b_first_validity:
+        return 1
+    if dl_a_lt:
+        return -1
+    if dl_b_lt:
+        return 1
+    if not deadline_only:
+        if a_zero and b_zero:
+            if y_a != y_b:
+                return -1 if y_a > y_b else 1
+        elif a_zero != b_zero:
+            return -1 if a_zero else 1
+        else:
+            if prod_a != prod_b:
+                return -1 if prod_a < prod_b else 1
+            if x_a != x_b:
+                return -1 if x_a < x_b else 1
+    if ar_a_lt:
+        return -1
+    if ar_b_lt:
+        return 1
+    return -1 if sid_a <= sid_b else 1
+
+
+def decide_packed(
+    word_a: int, word_b: int, *, deadline_only: bool = False
+) -> tuple[int, int]:
+    """Winner/loser ports of the packed-word Decision block."""
+    if compare_packed(word_a, word_b, deadline_only=deadline_only) < 0:
+        return word_a, word_b
+    return word_b, word_a

@@ -1,0 +1,169 @@
+"""Mapping fair-queuing and priority-class disciplines onto the core.
+
+Section 4.3, "Mapping Priority-class and Fair-queuing Schedulers":
+fair-queuing service tags never change once computed, so the canonical
+architecture runs them with just LOAD and SCHEDULE — the deadline field
+carries the per-packet tag, the Decision blocks run in their
+simple-comparator configuration, and the PRIORITY_UPDATE cycle is
+bypassed ("An extra priority update cycle is not needed").
+
+:class:`ServiceTagFrontend` is the systems-software half of that
+mapping: it computes WFQ/SFQ-style virtual-time tags per packet (the
+same arithmetic as :mod:`repro.disciplines.fair_queuing`), quantizes
+them into the 16-bit deadline field, and deposits them into the
+scheduler's stream-slots.  The hardware then orders N tagged packets in
+``log2(N)`` cycles.
+
+Priority-class mapping is the degenerate case: the "tag" is the
+stream's static priority, loaded once.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, Routing
+from repro.core.scheduler import DecisionOutcome, ShareStreamsScheduler
+
+__all__ = ["TaggedStream", "ServiceTagFrontend"]
+
+
+@dataclass(slots=True)
+class TaggedStream:
+    """Per-stream tag state kept by the frontend (QM descriptor part)."""
+
+    sid: int
+    weight: float
+    finish: float = 0.0
+    queued: int = 0
+
+
+class ServiceTagFrontend:
+    """Software tag computation feeding a hardware tag-order scheduler.
+
+    Parameters
+    ----------
+    n_slots:
+        Stream-slot count of the underlying scheduler.
+    flavor:
+        ``"sfq"`` (start-time tags, default — what Click's comparison
+        point uses) or ``"wfq"`` (finish-time tags).
+    quantum:
+        Tag units per 16-bit code point.  Virtual time is unbounded;
+        the hardware field is 16 bits, so tags are quantized relative
+        to the current virtual time and compared with the wrap-aware
+        serial comparator — valid while in-flight tags stay within half
+        the field's range (the frontend checks this).
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        *,
+        flavor: str = "sfq",
+        quantum: float = 64.0,
+        wrap: bool = True,
+    ) -> None:
+        if flavor not in ("sfq", "wfq"):
+            raise ValueError(f"unknown fair-queuing flavor {flavor!r}")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.flavor = flavor
+        self.quantum = quantum
+        self.wrap = wrap
+        # Service-tag configuration: deadline-only comparators, no
+        # priority-update attributes in play.
+        self.arch = ArchConfig(
+            n_slots=n_slots,
+            routing=Routing.WR,
+            deadline_only=True,
+            wrap=wrap,
+        )
+        self.scheduler = ShareStreamsScheduler(self.arch)
+        self.streams: dict[int, TaggedStream] = {}
+        self.virtual_time = 0.0
+        self._arrival_seq = 0
+        # Unquantized tags per stream, FIFO-parallel to the slot queue
+        # (the QM descriptor side of the mapping keeps full precision).
+        self._pending_tags: dict[int, deque[float]] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_stream(self, sid: int, weight: float = 1.0) -> None:
+        """Register one weighted stream and bind its slot."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if sid in self.streams:
+            raise ValueError(f"stream {sid} already registered")
+        self.streams[sid] = TaggedStream(sid=sid, weight=weight)
+        self._pending_tags[sid] = deque()
+        self.scheduler.load_stream(
+            StreamConfig(sid=sid, period=0, mode=SchedulingMode.SERVICE_TAG)
+        )
+
+    def _encode(self, tag: float) -> int:
+        """Quantize a virtual-time tag into the 16-bit deadline field."""
+        code = int(tag / self.quantum)
+        if self.wrap:
+            span = tag - self.virtual_time
+            if span / self.quantum >= (1 << 15):
+                raise OverflowError(
+                    "tag spread exceeds the 16-bit serial comparison "
+                    "horizon; increase quantum"
+                )
+            return code & 0xFFFF
+        return code
+
+    def enqueue(self, sid: int, length: int = 1500) -> float:
+        """Tag one arriving packet and deposit it in the slot queue.
+
+        Returns the assigned (unquantized) tag for inspection.
+        """
+        stream = self.streams[sid]
+        start = max(stream.finish, self.virtual_time)
+        finish = start + length / stream.weight
+        stream.finish = finish
+        tag = start if self.flavor == "sfq" else finish
+        self._arrival_seq += 1
+        self.scheduler.enqueue(
+            sid,
+            deadline=self._encode(tag),
+            arrival=self._arrival_seq & 0xFFFF if self.wrap else self._arrival_seq,
+            length=length,
+        )
+        stream.queued += 1
+        self._pending_tags[sid].append(tag)
+        return tag
+
+    def dequeue(self) -> DecisionOutcome:
+        """One hardware decision: LOAD + SCHEDULE only (no update).
+
+        The winner's packet is consumed; virtual time advances per the
+        flavor's rule.
+        """
+        outcome = self.scheduler.decision_cycle(
+            0, consume="winner", count_misses=False
+        )
+        if outcome.circulated_sid is not None:
+            sid = outcome.circulated_sid
+            stream = self.streams[sid]
+            stream.queued -= 1
+            _, packet = outcome.serviced[0]
+            served_tag = self._pending_tags[sid].popleft()
+            if self.flavor == "sfq":
+                # SFQ: virtual time = start tag of packet in service.
+                self.virtual_time = max(self.virtual_time, served_tag)
+            else:
+                # WFQ approximation: advance by service share.
+                active = sum(
+                    s.weight for s in self.streams.values() if s.queued > 0
+                ) or stream.weight
+                self.virtual_time += packet.length / active
+        return outcome
+
+    @property
+    def hw_cycles_per_decision(self) -> int:
+        """SCHEDULE passes + the (bypassed-update) circulation cycle."""
+        return self.scheduler.cycles_per_decision

@@ -1,0 +1,46 @@
+"""Pure-software reference scheduling disciplines (baselines/oracles)."""
+
+from repro.disciplines.analysis import (
+    DROPPED,
+    LATE,
+    ON_TIME,
+    ConstraintChecker,
+    PacketOutcome,
+    StreamAudit,
+)
+from repro.disciplines.base import Discipline, DisciplineInfo, Packet, SwStream
+from repro.disciplines.drr import DRR
+from repro.disciplines.dwcs import DWCS, WindowState
+from repro.disciplines.edf import EDF
+from repro.disciplines.fair_queuing import SFQ, WFQ
+from repro.disciplines.fcfs import FCFS
+from repro.disciplines.hfsc import ClassNode, HierarchicalFairShare
+from repro.disciplines.registry import DISCIPLINES, FAMILY_INFO, create, info_for
+from repro.disciplines.static_priority import StaticPriority
+
+__all__ = [
+    "ClassNode",
+    "ConstraintChecker",
+    "DISCIPLINES",
+    "HierarchicalFairShare",
+    "DROPPED",
+    "DRR",
+    "DWCS",
+    "Discipline",
+    "DisciplineInfo",
+    "EDF",
+    "FAMILY_INFO",
+    "FCFS",
+    "LATE",
+    "ON_TIME",
+    "Packet",
+    "PacketOutcome",
+    "SFQ",
+    "StaticPriority",
+    "StreamAudit",
+    "SwStream",
+    "WFQ",
+    "WindowState",
+    "create",
+    "info_for",
+]

@@ -1,0 +1,173 @@
+"""Reference software DWCS (Dynamic Window-Constrained Scheduling).
+
+Pure-software implementation of the discipline the paper maps onto the
+canonical architecture (Section 4.3, citing West et al. [26, 27]).
+Each stream carries a request period ``T`` and a window-constraint
+``W = x/y`` (at most ``x`` late/lost packets per window of ``y``).
+Every decision:
+
+1. streams are ordered pairwise by Table 2's rules (earliest deadline;
+   ties → lowest current constraint ``x'/y'``; zero constraints →
+   highest denominator; equal non-zero constraints → lowest numerator;
+   otherwise FCFS);
+2. the winner's head packet is transmitted and its window counters get
+   the *winner* adjustment;
+3. every other stream whose head deadline has passed gets the *loser*
+   adjustment (priority effectively raised) and, when packets are
+   droppable, sheds its late head.
+
+The adjustment semantics follow the reconstruction documented in
+DESIGN.md, shared with :mod:`repro.core.register_block`; this module is
+deliberately an *independent* implementation (selection by sorting with
+a key, not a comparator network) so the cross-validation tests compare
+two formulations of the same rules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.disciplines.base import Discipline, Packet, SwStream
+
+__all__ = ["DWCS", "WindowState"]
+
+
+@dataclass(slots=True)
+class WindowState:
+    """Current window counters ``(x', y')`` plus the original ``(x, y)``."""
+
+    x: int
+    y: int
+    x_cur: int = field(default=-1)
+    y_cur: int = field(default=-1)
+    violations: int = 0
+    misses: int = 0
+    resets: int = 0
+
+    def __post_init__(self) -> None:
+        if self.x_cur < 0:
+            self.x_cur = self.x
+        if self.y_cur < 0:
+            self.y_cur = self.y
+
+    @property
+    def constraint(self) -> float:
+        """Current loss-tolerance ratio ``W' = x'/y'`` (0 when y' == 0)."""
+        return self.x_cur / self.y_cur if self.y_cur else 0.0
+
+    @property
+    def zero(self) -> bool:
+        """Whether the current constraint counts as zero for rule 3."""
+        return self.x_cur == 0 or self.y_cur == 0
+
+    def _reset(self) -> None:
+        self.x_cur = self.x
+        self.y_cur = self.y
+        self.resets += 1
+
+    def on_time_service(self) -> None:
+        """Winner adjustment: window consumed one on-time packet."""
+        if self.y_cur > 0:
+            self.y_cur -= 1
+        if self.y_cur == 0 or self.y_cur <= self.x_cur:
+            self._reset()
+
+    def missed_deadline(self) -> None:
+        """Loser adjustment: a packet was late/lost in the window."""
+        self.misses += 1
+        if self.x_cur > 0:
+            self.x_cur -= 1
+            if self.y_cur > 0:
+                self.y_cur -= 1
+            if self.y_cur == 0 or self.x_cur == self.y_cur:
+                self._reset()
+        else:
+            self.violations += 1
+            self.y_cur = min(self.y_cur + 1, 255)
+
+
+class DWCS(Discipline):
+    """Reference DWCS scheduler over per-stream FIFO queues.
+
+    Parameters
+    ----------
+    drop_late:
+        When true, a stream whose head packet misses its deadline drops
+        that packet (loss-tolerant media semantics); when false the
+        late packet stays queued until serviced (late delivery).
+    """
+
+    name = "dwcs"
+
+    def __init__(self, *, drop_late: bool = False) -> None:
+        super().__init__()
+        self.drop_late = drop_late
+        self._queues: dict[int, deque[Packet]] = {}
+        self.windows: dict[int, WindowState] = {}
+        self.dropped: list[Packet] = []
+
+    def _on_stream_added(self, stream: SwStream) -> None:
+        self._queues[stream.stream_id] = deque()
+        self.windows[stream.stream_id] = WindowState(
+            x=stream.loss_numerator, y=stream.loss_denominator
+        )
+
+    def enqueue(self, packet: Packet) -> None:
+        if packet.deadline is None:
+            raise ValueError("DWCS requires packets to carry deadlines")
+        self._queues[packet.stream_id].append(packet)
+        self._note_enqueued()
+
+    # ------------------------------------------------------------------
+
+    def _selection_key(self, sid: int, now: float):
+        """Total-order key equivalent to Table 2 (see core.rules)."""
+        head = self._queues[sid][0]
+        win = self.windows[sid]
+        return (
+            head.deadline,
+            win.constraint,
+            -win.y_cur if win.zero else 0,
+            0 if win.zero else win.x_cur,
+            head.arrival,
+            sid,
+        )
+
+    def select(self, now: float) -> int | None:
+        """Stream ID the Table 2 rules pick at time ``now`` (no side effects)."""
+        backlogged = [sid for sid, q in self._queues.items() if q]
+        if not backlogged:
+            return None
+        return min(backlogged, key=lambda sid: self._selection_key(sid, now))
+
+    def dequeue(self, now: float) -> Packet | None:
+        """One full DWCS decision: select, transmit, adjust windows."""
+        winner_sid = self.select(now)
+        if winner_sid is None:
+            return None
+        packet = self._queues[winner_sid].popleft()
+        self._note_dequeued()
+        window = self.windows[winner_sid]
+        if packet.deadline is not None and packet.deadline < now:
+            window.missed_deadline()
+        else:
+            window.on_time_service()
+        self._advance_losers(now, winner_sid)
+        return packet
+
+    def _advance_losers(self, now: float, winner_sid: int) -> None:
+        """Apply loser adjustments to streams whose heads are late."""
+        for sid, queue in self._queues.items():
+            if sid == winner_sid or not queue:
+                continue
+            head = queue[0]
+            if head.deadline is not None and head.deadline < now:
+                self.windows[sid].missed_deadline()
+                if self.drop_late:
+                    self.dropped.append(queue.popleft())
+                    self._note_dequeued()
+
+    def missed_deadlines(self, sid: int) -> int:
+        """Missed-deadline count for one stream (Table 3's counter)."""
+        return self.windows[sid].misses

@@ -1,0 +1,50 @@
+"""Earliest-Deadline-First scheduling.
+
+EDF uses a single attribute — the packet deadline — for comparison
+(Section 2, "Attribute Comparison Complexity").  DWCS degenerates to
+EDF when window constraints are zero and deadlines are distinct; the
+hardware's EDF mode (used for Table 3) is cross-validated against this
+reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.disciplines.base import Discipline, Packet
+
+__all__ = ["EDF"]
+
+
+class EDF(Discipline):
+    """Deadline-ordered priority queue, FCFS (arrival, then insertion
+    order) among equal deadlines."""
+
+    name = "edf"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, float, int, Packet]] = []
+        self._counter = itertools.count()
+
+    def enqueue(self, packet: Packet) -> None:
+        if packet.stream_id not in self.streams:
+            raise KeyError(f"unknown stream {packet.stream_id}")
+        if packet.deadline is None:
+            raise ValueError("EDF requires packets to carry deadlines")
+        heapq.heappush(
+            self._heap,
+            (packet.deadline, packet.arrival, next(self._counter), packet),
+        )
+        self._note_enqueued()
+
+    def dequeue(self, now: float) -> Packet | None:
+        if not self._heap:
+            return None
+        self._note_dequeued()
+        return heapq.heappop(self._heap)[3]
+
+    def peek_deadline(self) -> float | None:
+        """Deadline of the most urgent queued packet, if any."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,133 @@
+"""Service-tag fair-queuing disciplines: WFQ and SFQ.
+
+Fair-queuing schedulers (Table 1, middle column; Demers et al. [6],
+Zhang [29]) assign each arriving packet a *service tag* — a virtual
+start or finish time — and always transmit the packet with the least
+tag.  Tags never change once computed, which is exactly why the
+canonical architecture can map these disciplines using only the LOAD
+and SCHEDULE states (Section 4.3): the deadline field carries the tag
+and the PRIORITY_UPDATE cycle is bypassed.
+
+* :class:`WFQ` — Weighted Fair Queuing: finish-time tags
+  ``F = max(F_prev, V(t)) + L / w`` against a virtual time ``V`` that
+  advances at rate ``1 / sum(active weights)`` per unit of service.
+* :class:`SFQ` — Start-time Fair Queuing (the discipline in the Click
+  comparison of Section 5.2): start-time tags
+  ``S = max(V(t), F_prev)``, ``F = S + L / w``, with virtual time set
+  to the start tag of the packet in service — cheap to compute and
+  robust to rate fluctuation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+
+from repro.disciplines.base import Discipline, Packet, SwStream
+
+__all__ = ["WFQ", "SFQ"]
+
+
+class _TaggedFQ(Discipline):
+    """Shared machinery: per-stream FIFOs + a tag-ordered heap of heads."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queues: dict[int, deque[Packet]] = {}
+        self._finish: dict[int, float] = {}
+        self._heap: list[tuple[float, float, int, int, Packet]] = []
+        self._counter = itertools.count()
+        self.virtual_time = 0.0
+
+    def _on_stream_added(self, stream: SwStream) -> None:
+        self._queues[stream.stream_id] = deque()
+        self._finish[stream.stream_id] = 0.0
+
+    def _push_head(self, packet: Packet) -> None:
+        # Tag ties resolve FCFS (arrival, then a stable counter) — the
+        # same rule-5 fallback the Decision blocks apply (Table 2).
+        heapq.heappush(
+            self._heap,
+            (
+                packet.tag,
+                packet.arrival,
+                next(self._counter),
+                packet.stream_id,
+                packet,
+            ),
+        )
+
+    def enqueue(self, packet: Packet) -> None:
+        stream = self.streams.get(packet.stream_id)
+        if stream is None:
+            raise KeyError(f"unknown stream {packet.stream_id}")
+        queue = self._queues[packet.stream_id]
+        was_empty = not queue
+        self._tag_packet(packet, stream, head_of_line=was_empty)
+        queue.append(packet)
+        if was_empty:
+            self._push_head(packet)
+        self._note_enqueued()
+
+    def dequeue(self, now: float) -> Packet | None:
+        while self._heap:
+            _, _, _, sid, packet = heapq.heappop(self._heap)
+            queue = self._queues[sid]
+            if not queue or queue[0] is not packet:
+                continue  # stale heap entry
+            queue.popleft()
+            self._note_dequeued()
+            self._on_service(packet)
+            if queue:
+                head = queue[0]
+                self._retag_head(head, self.streams[sid])
+                self._push_head(head)
+            return packet
+        return None
+
+    # hooks -------------------------------------------------------------
+
+    def _tag_packet(self, packet: Packet, stream: SwStream, head_of_line: bool) -> None:
+        raise NotImplementedError
+
+    def _retag_head(self, packet: Packet, stream: SwStream) -> None:
+        """Recompute the tag when a queued packet becomes head-of-line."""
+
+    def _on_service(self, packet: Packet) -> None:
+        """Advance virtual time as the packet enters service."""
+
+
+class WFQ(_TaggedFQ):
+    """Weighted Fair Queuing with finish-time tags."""
+
+    name = "wfq"
+
+    def _tag_packet(self, packet: Packet, stream: SwStream, head_of_line: bool) -> None:
+        start = max(self._finish[stream.stream_id], self.virtual_time)
+        finish = start + packet.length / stream.weight
+        self._finish[stream.stream_id] = finish
+        packet.tag = finish
+
+    def _on_service(self, packet: Packet) -> None:
+        active_weight = sum(
+            self.streams[sid].weight
+            for sid, q in self._queues.items()
+            if q or sid == packet.stream_id
+        )
+        self.virtual_time += packet.length / max(active_weight, 1e-12)
+
+
+class SFQ(_TaggedFQ):
+    """Start-time Fair Queuing with start-time tags."""
+
+    name = "sfq"
+
+    def _tag_packet(self, packet: Packet, stream: SwStream, head_of_line: bool) -> None:
+        start = max(self._finish[stream.stream_id], self.virtual_time)
+        self._finish[stream.stream_id] = start + packet.length / stream.weight
+        packet.tag = start
+
+    def _on_service(self, packet: Packet) -> None:
+        # SFQ sets virtual time to the start tag of the packet in service.
+        self.virtual_time = max(self.virtual_time, packet.tag)

@@ -1,0 +1,37 @@
+"""First-come-first-serve: the paper's motivating non-solution.
+
+Section 1: "FCFS stream schedulers on end-system server machines or
+switches will easily allow bandwidth-hog streams to flow through, while
+other streams starve."  Included as the baseline every QoS discipline
+is measured against (and as Table 2's final tie-break rule).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.disciplines.base import Discipline, Packet
+
+__all__ = ["FCFS"]
+
+
+class FCFS(Discipline):
+    """Single shared FIFO across all streams."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._fifo: deque[Packet] = deque()
+
+    def enqueue(self, packet: Packet) -> None:
+        if packet.stream_id not in self.streams:
+            raise KeyError(f"unknown stream {packet.stream_id}")
+        self._fifo.append(packet)
+        self._note_enqueued()
+
+    def dequeue(self, now: float) -> Packet | None:
+        if not self._fifo:
+            return None
+        self._note_dequeued()
+        return self._fifo.popleft()

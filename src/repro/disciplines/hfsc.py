@@ -1,0 +1,155 @@
+"""Hierarchical link-sharing scheduler (H-FSC-style baseline).
+
+Section 4.1 cites Stoica et al.'s Hierarchical Fair Service Curve
+scheduler (~7-10 µs per packet on a 200 MHz Pentium) as the fastest
+software comparator, and Section 3 notes H-FSC among the QoS
+capabilities studied for software routers.  This module provides the
+*link-sharing* half of that design as a clean baseline: a class
+hierarchy where each interior node divides its bandwidth among its
+children by weight, realized with start-time fair queuing at every
+level (a faithful simplification — we do not implement decoupled
+service curves, which DESIGN.md records as a substitution).
+
+The hierarchy lets experiments express the paper's workload mixes
+directly: e.g. link → {real-time 70%, best-effort 30%},
+real-time → {video 2, audio 1}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disciplines.base import Discipline, Packet, SwStream
+
+__all__ = ["ClassNode", "HierarchicalFairShare"]
+
+
+@dataclass
+class ClassNode:
+    """One node of the link-sharing tree."""
+
+    name: str
+    weight: float = 1.0
+    parent: "ClassNode | None" = None
+    children: "list[ClassNode]" = field(default_factory=list)
+    # Leaf state: the stream bound to this class (None for interior).
+    stream_id: int | None = None
+    # Fair-queuing state at this node's level.
+    virtual_time: float = 0.0  # for *children* of this node
+    start_tag: float = 0.0
+    finish_tag: float = 0.0
+    backlog: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("class weight must be positive")
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node carries a stream rather than children."""
+        return self.stream_id is not None
+
+    def add_child(self, child: "ClassNode") -> "ClassNode":
+        """Attach a child class."""
+        if self.is_leaf:
+            raise ValueError(f"leaf class {self.name!r} cannot have children")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+
+class HierarchicalFairShare(Discipline):
+    """Weighted link-sharing over a class tree (SFQ at each level).
+
+    Build the tree first (:meth:`add_class`), bind streams to leaf
+    classes (:meth:`bind_stream`), then enqueue/dequeue as usual.
+    Service walks the tree from the root, picking at each level the
+    backlogged child with the least start tag — giving weighted shares
+    *within* every interior class, the paper-cited link-sharing goal.
+    """
+
+    name = "hfs"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.root = ClassNode(name="root")
+        self._classes: dict[str, ClassNode] = {"root": self.root}
+        self._leaves: dict[int, ClassNode] = {}
+        self._queues: dict[int, list[Packet]] = {}
+
+    # tree construction --------------------------------------------------
+
+    def add_class(
+        self, name: str, parent: str = "root", weight: float = 1.0
+    ) -> ClassNode:
+        """Create an interior or (future-leaf) class under ``parent``."""
+        if name in self._classes:
+            raise ValueError(f"class {name!r} already exists")
+        node = ClassNode(name=name, weight=weight)
+        self._classes[parent].add_child(node)
+        self._classes[name] = node
+        return node
+
+    def bind_stream(self, stream: SwStream, class_name: str) -> None:
+        """Bind one stream to a leaf class and register it."""
+        node = self._classes[class_name]
+        if node.children:
+            raise ValueError(f"class {class_name!r} is interior")
+        if node.stream_id is not None:
+            raise ValueError(f"class {class_name!r} already bound")
+        node.stream_id = stream.stream_id
+        self.add_stream(stream)
+        self._leaves[stream.stream_id] = node
+        self._queues[stream.stream_id] = []
+
+    def enqueue(self, packet: Packet) -> None:
+        node = self._leaves.get(packet.stream_id)
+        if node is None:
+            raise KeyError(f"stream {packet.stream_id} not bound to a class")
+        self._queues[packet.stream_id].append(packet)
+        self._note_enqueued()
+        # Becoming backlogged: stamp start tags up the tree.
+        self._activate(node, packet.length)
+
+    def _activate(self, node: ClassNode, length: int) -> None:
+        while node is not None:
+            node.backlog += 1
+            if node.backlog == 1 and node.parent is not None:
+                parent = node.parent
+                node.start_tag = max(node.finish_tag, parent.virtual_time)
+                node.finish_tag = node.start_tag + length / node.weight
+            node = node.parent
+
+    def dequeue(self, now: float) -> Packet | None:
+        if self.root.backlog == 0:
+            return None
+        # Walk down: least start tag among backlogged children.
+        node = self.root
+        while not node.is_leaf:
+            candidates = [c for c in node.children if c.backlog > 0]
+            chosen = min(candidates, key=lambda c: (c.start_tag, c.name))
+            node.virtual_time = max(node.virtual_time, chosen.start_tag)
+            node = chosen
+        packet = self._queues[node.stream_id].pop(0)
+        self._note_dequeued()
+        # Deactivate / re-tag up the tree.
+        leaf = node
+        while leaf is not None:
+            leaf.backlog -= 1
+            leaf = leaf.parent
+        if node.backlog > 0 and node.parent is not None:
+            head = self._queues[node.stream_id][0]
+            node.start_tag = max(node.finish_tag, node.parent.virtual_time)
+            node.finish_tag = node.start_tag + head.length / node.weight
+        # Re-tag interior ancestors that remain backlogged.
+        ancestor = node.parent
+        while ancestor is not None and ancestor.parent is not None:
+            if ancestor.backlog > 0:
+                ancestor.start_tag = max(
+                    ancestor.finish_tag, ancestor.parent.virtual_time
+                )
+                ancestor.finish_tag = (
+                    ancestor.start_tag + packet.length / ancestor.weight
+                )
+            ancestor = ancestor.parent
+        return packet

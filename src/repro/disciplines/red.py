@@ -1,0 +1,161 @@
+"""Random Early Detection (RED) queue management.
+
+Section 5.2's commercial comparator — the Cisco GSR 12000 line-card —
+is "capable of wire-speed QoS using deficit round-robin (DRR) and
+Random Early Detect (RED) policies" with 8 queues per port.  RED is
+the active-queue-management half of that: arriving packets are dropped
+probabilistically as the *average* queue depth (an EWMA) moves between
+a minimum and maximum threshold, signalling congestion early.
+
+Classic Floyd/Jacobson formulation:
+
+* ``avg = (1 - wq) * avg + wq * q`` per arrival (with an idle-time
+  decay when the queue drained);
+* below ``min_th``: never drop; above ``max_th``: always drop;
+* between: drop with ``p_b = max_p * (avg - min_th)/(max_th - min_th)``,
+  inflated by the count of packets since the last drop,
+  ``p_a = p_b / (1 - count * p_b)``, spacing drops evenly.
+
+Deterministic given a seed, so the comparison experiments reproduce.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disciplines.base import Packet
+
+__all__ = ["REDStats", "REDQueue"]
+
+
+@dataclass(slots=True)
+class REDStats:
+    """Drop/acceptance accounting for one RED queue."""
+
+    accepted: int = 0
+    dropped_early: int = 0
+    dropped_forced: int = 0
+    dropped_full: int = 0
+
+    @property
+    def offered(self) -> int:
+        """Total arrivals."""
+        return (
+            self.accepted
+            + self.dropped_early
+            + self.dropped_forced
+            + self.dropped_full
+        )
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of arrivals dropped."""
+        offered = self.offered
+        dropped = offered - self.accepted
+        return dropped / offered if offered else 0.0
+
+
+class REDQueue:
+    """One FIFO queue guarded by RED admission.
+
+    Parameters
+    ----------
+    min_th, max_th:
+        Average-depth thresholds (packets).
+    max_p:
+        Drop probability at ``max_th``.
+    wq:
+        EWMA weight for the average queue size.
+    capacity:
+        Hard limit (tail drop beyond it).
+    rng:
+        Seedable random source.
+    """
+
+    def __init__(
+        self,
+        min_th: int = 5,
+        max_th: int = 15,
+        *,
+        max_p: float = 0.1,
+        wq: float = 0.002,
+        capacity: int = 64,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not 0 < min_th < max_th:
+            raise ValueError("need 0 < min_th < max_th")
+        if not 0 < max_p <= 1:
+            raise ValueError("max_p must be in (0, 1]")
+        if not 0 < wq <= 1:
+            raise ValueError("wq must be in (0, 1]")
+        if capacity < max_th:
+            raise ValueError("capacity must be at least max_th")
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.wq = wq
+        self.capacity = capacity
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self._rng = rng
+        self._queue: deque[Packet] = deque()
+        self.avg = 0.0
+        self._count = -1  # packets since last drop (-1 = none pending)
+        self._idle_since: float | None = 0.0
+        self.stats = REDStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def _update_avg(self, now: float) -> None:
+        q = len(self._queue)
+        if q == 0 and self._idle_since is not None:
+            # Idle decay: average halves roughly every 1/wq idle slots.
+            idle = max(0.0, now - self._idle_since)
+            self.avg *= (1 - self.wq) ** idle
+        self.avg = (1 - self.wq) * self.avg + self.wq * q
+
+    def enqueue(self, packet: Packet, now: float = 0.0) -> bool:
+        """Offer one packet; returns False when RED (or the hard cap)
+        dropped it."""
+        self._update_avg(now)
+        if len(self._queue) >= self.capacity:
+            self.stats.dropped_full += 1
+            return False
+        if self.avg >= self.max_th:
+            self.stats.dropped_forced += 1
+            self._count = 0
+            return False
+        if self.avg > self.min_th:
+            self._count += 1
+            p_b = self.max_p * (self.avg - self.min_th) / (
+                self.max_th - self.min_th
+            )
+            denom = 1.0 - self._count * p_b
+            p_a = p_b / denom if denom > 0 else 1.0
+            if self._rng.random() < p_a:
+                self.stats.dropped_early += 1
+                self._count = 0
+                return False
+        else:
+            self._count = -1
+        self._queue.append(packet)
+        self.stats.accepted += 1
+        self._idle_since = None
+        return True
+
+    def dequeue(self, now: float = 0.0) -> Packet | None:
+        """Remove the head packet."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        if not self._queue:
+            self._idle_since = now
+        return packet
+
+    def peek(self) -> Packet | None:
+        """Head packet without removal."""
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,91 @@
+"""Discipline registry and the Table 1 classification metadata.
+
+Table 1 of the paper compares the three discipline families along five
+dimensions (priority, grain, input queue, service-tag computation,
+concurrency).  That classification is encoded here as data so the
+Table 1 experiment regenerates the table from the same registry the
+schedulers live in.
+"""
+
+from __future__ import annotations
+
+from repro.disciplines.base import Discipline, DisciplineInfo
+from repro.disciplines.drr import DRR
+from repro.disciplines.dwcs import DWCS
+from repro.disciplines.edf import EDF
+from repro.disciplines.fair_queuing import SFQ, WFQ
+from repro.disciplines.fcfs import FCFS
+from repro.disciplines.hfsc import HierarchicalFairShare
+from repro.disciplines.static_priority import StaticPriority
+
+__all__ = [
+    "DISCIPLINES",
+    "FAMILY_INFO",
+    "create",
+    "info_for",
+]
+
+#: name -> discipline class, for all implemented software schedulers.
+DISCIPLINES: dict[str, type[Discipline]] = {
+    cls.name: cls
+    for cls in (FCFS, StaticPriority, EDF, DWCS, WFQ, SFQ, DRR, HierarchicalFairShare)
+}
+
+#: Table 1 rows: the paper's comparison of the three discipline families.
+FAMILY_INFO: dict[str, DisciplineInfo] = {
+    "priority-class": DisciplineInfo(
+        name="Priority-class",
+        family="priority-class",
+        priority="Stream-level dynamic",
+        grain="Packet-level fixed",
+        input_queue="Priority Queue",
+        service_tag_computation="concurrent across streams",
+        concurrency="Multiple decisions can be pipelined",
+    ),
+    "fair-queuing": DisciplineInfo(
+        name="Fair-queuing (WFQ, SFQ)",
+        family="fair-queuing",
+        priority="Stream-level dynamic",
+        grain="Packet-level fixed",
+        input_queue="Priority Queue",
+        service_tag_computation="per-stream serialized",
+        concurrency="Multiple decisions are pipelined",
+    ),
+    "window-constrained": DisciplineInfo(
+        name="Window-constrained ((m,k)-firm, DWCS)",
+        family="window-constrained",
+        priority="Stream-level dynamic",
+        grain="Packet-level dynamic",
+        input_queue="Simple circular queue",
+        service_tag_computation="winner in previous decision cycle",
+        concurrency="Successive decisions are serialized",
+    ),
+}
+
+#: Which family each implemented discipline belongs to.
+_FAMILY_OF = {
+    "fcfs": "priority-class",
+    "static_priority": "priority-class",
+    "drr": "fair-queuing",
+    "wfq": "fair-queuing",
+    "sfq": "fair-queuing",
+    "hfs": "fair-queuing",
+    "edf": "window-constrained",
+    "dwcs": "window-constrained",
+}
+
+
+def create(name: str, **kwargs) -> Discipline:
+    """Instantiate a discipline by registry name."""
+    try:
+        cls = DISCIPLINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown discipline {name!r}; known: {sorted(DISCIPLINES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def info_for(name: str) -> DisciplineInfo:
+    """Table 1 family classification for an implemented discipline."""
+    return FAMILY_INFO[_FAMILY_OF[name]]

@@ -1,0 +1,45 @@
+"""Static-priority (priority-class) scheduling.
+
+The DiffServ-style discipline of Table 1: each stream carries a
+time-invariant priority; the scheduler always serves the highest
+priority (lowest number) backlogged stream, FIFO within a class.
+Minimizes weighted mean delay for non-time-constrained traffic
+(Section 2) but starves low-priority streams under load — the behavior
+the fair-share experiments contrast against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.disciplines.base import Discipline, Packet, SwStream
+
+__all__ = ["StaticPriority"]
+
+
+class StaticPriority(Discipline):
+    """Strict priority with FIFO service within each priority class."""
+
+    name = "static_priority"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queues: dict[int, deque[Packet]] = {}
+        self._by_priority: list[tuple[int, int]] = []  # (priority, stream_id)
+
+    def _on_stream_added(self, stream: SwStream) -> None:
+        self._queues[stream.stream_id] = deque()
+        self._by_priority.append((stream.priority, stream.stream_id))
+        self._by_priority.sort()
+
+    def enqueue(self, packet: Packet) -> None:
+        self._queues[packet.stream_id].append(packet)
+        self._note_enqueued()
+
+    def dequeue(self, now: float) -> Packet | None:
+        for _, sid in self._by_priority:
+            queue = self._queues[sid]
+            if queue:
+                self._note_dequeued()
+                return queue.popleft()
+        return None

@@ -1,0 +1,31 @@
+"""Endsystem/host-router realization of the ShareStreams architecture."""
+
+from repro.endsystem.aggregation import AggregatedSlot, StreamletKey, StreamletSet
+from repro.endsystem.host import (
+    PLAYOUT_LINK_128M,
+    EndsystemConfig,
+    EndsystemResult,
+    EndsystemRouter,
+)
+from repro.endsystem.queue_manager import Frame, QueueManager, StreamDescriptor
+from repro.endsystem.stats import PipelineReport, StageLoad, analyze_pipeline
+from repro.endsystem.streaming_unit import StreamingUnit
+from repro.endsystem.transmission import TransmissionEngine
+
+__all__ = [
+    "AggregatedSlot",
+    "EndsystemConfig",
+    "EndsystemResult",
+    "EndsystemRouter",
+    "Frame",
+    "PLAYOUT_LINK_128M",
+    "PipelineReport",
+    "QueueManager",
+    "StageLoad",
+    "StreamDescriptor",
+    "StreamingUnit",
+    "StreamletKey",
+    "StreamletSet",
+    "TransmissionEngine",
+    "analyze_pipeline",
+]

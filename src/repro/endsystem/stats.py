@@ -1,0 +1,94 @@
+"""Pipeline-stage analysis of an endsystem run.
+
+Section 5's design lesson is that *concurrency between queuing,
+scheduling and data streaming* sets the endsystem's throughput: the
+pipeline runs at the rate of its slowest stage.  This module breaks an
+:class:`~repro.endsystem.host.EndsystemResult` down by stage — wire
+serialization, host per-packet work, PCI transfer, hardware decisions,
+SRAM arbitration — and identifies the bottleneck, reproducing the
+paper's diagnosis that the Celoxica SRAM ownership switching (folded
+into the PIO cost) bounds the PIO configuration while the host bounds
+the DMA/no-PCI configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.endsystem.host import EndsystemResult
+
+__all__ = ["StageLoad", "PipelineReport", "analyze_pipeline"]
+
+
+@dataclass(frozen=True, slots=True)
+class StageLoad:
+    """One pipeline stage's per-frame cost and aggregate busy time."""
+
+    name: str
+    per_frame_us: float
+    busy_us: float
+    utilization: float
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineReport:
+    """Stage-by-stage utilization of one endsystem run."""
+
+    stages: tuple[StageLoad, ...]
+    elapsed_us: float
+    frames: int
+
+    @property
+    def bottleneck(self) -> StageLoad:
+        """The stage with the highest utilization."""
+        return max(self.stages, key=lambda s: s.utilization)
+
+    def stage(self, name: str) -> StageLoad:
+        """Look up one stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"unknown stage {name!r}")
+
+
+def analyze_pipeline(result: EndsystemResult, *, include_pci: bool | None = None) -> PipelineReport:
+    """Decompose a run into per-stage utilizations.
+
+    ``include_pci`` overrides whether the PIO cost sat on the critical
+    path (defaults to what the run's TE actually charged).
+    """
+    te = result.te
+    frames = result.frames_sent
+    elapsed = result.elapsed_us
+    if frames == 0 or elapsed == 0:
+        return PipelineReport(stages=(), elapsed_us=elapsed, frames=0)
+    if include_pci is None:
+        include_pci = te.include_pci
+
+    mean_bytes = result.bytes_sent / frames
+    wire_us = te.link.packet_time_us(int(round(mean_bytes)))
+    host_us = te.host.packet_cost_us
+    pio_us = te.transfer_cost_us if include_pci else 0.0
+    hw_us = te.hw_decision_us
+    # Streaming-unit bus accounting (overlapped, not on the TE path).
+    bus_us_total = result.pci.total_time_us
+    sram_us_total = result.sram.total_switch_time_us
+
+    def stage(name: str, per_frame: float, busy: float | None = None) -> StageLoad:
+        busy_total = per_frame * frames if busy is None else busy
+        return StageLoad(
+            name=name,
+            per_frame_us=per_frame,
+            busy_us=busy_total,
+            utilization=min(1.0, busy_total / elapsed),
+        )
+
+    stages = (
+        stage("wire", wire_us),
+        stage("host", host_us),
+        stage("pci-pio (critical path)", pio_us),
+        stage("fpga decision", hw_us),
+        stage("pci bus (overlapped)", bus_us_total / frames, bus_us_total),
+        stage("sram arbitration (overlapped)", sram_us_total / frames, sram_us_total),
+    )
+    return PipelineReport(stages=stages, elapsed_us=elapsed, frames=frames)

@@ -1,0 +1,56 @@
+"""One driver per table/figure of the paper's evaluation.
+
+==========  ====================================================
+Experiment  Driver
+==========  ====================================================
+Table 1     :mod:`repro.experiments.table1`
+Table 2     :mod:`repro.experiments.table2`
+Table 3     :mod:`repro.experiments.table3`
+Figure 1    :mod:`repro.experiments.figure1`
+Figure 6    :mod:`repro.experiments.figure6`
+Figure 7    :mod:`repro.experiments.figure7`
+Figure 8    :mod:`repro.experiments.figure8`
+Figure 9    :mod:`repro.experiments.figure9`
+Figure 10   :mod:`repro.experiments.figure10`
+Section 5.2 :mod:`repro.experiments.comparison`
+==========  ====================================================
+"""
+
+from repro.experiments.ablations import (
+    aggregation_sweep,
+    extensions_sweep,
+    pio_dma_crossover,
+    sort_schedule_sweep,
+    transfer_cost_sweep,
+)
+from repro.experiments.comparison import run_comparison
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.isolation import run_isolation
+from repro.experiments.figure6 import render_timeline, run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.table1 import build_table1
+from repro.experiments.table2 import run_rule_coverage
+from repro.experiments.table3 import run_table3
+
+__all__ = [
+    "aggregation_sweep",
+    "build_table1",
+    "extensions_sweep",
+    "pio_dma_crossover",
+    "render_timeline",
+    "run_comparison",
+    "run_isolation",
+    "sort_schedule_sweep",
+    "transfer_cost_sweep",
+    "run_figure1",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_rule_coverage",
+    "run_table3",
+]

@@ -1,0 +1,177 @@
+"""Ablation sweeps over the design choices DESIGN.md calls out.
+
+Shared by the ablation benchmarks and the CLI:
+
+* :func:`sort_schedule_sweep` — paper log2(N) recirculation vs full
+  bitonic schedule (pass cost vs block-order quality);
+* :func:`transfer_cost_sweep` — endsystem throughput vs the per-frame
+  PCI cost (the SRAM bank-switch bottleneck);
+* :func:`pio_dma_crossover` — the push/pull batch-size split;
+* :func:`aggregation_sweep` — streamlets-per-slot vs per-streamlet
+  bandwidth and FPGA state saved;
+* :func:`extensions_sweep` — Section 6's compute-ahead and Virtex-II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.attributes import HardwareAttributes
+from repro.core.config import Routing
+from repro.core.rules import ordering_key
+from repro.core.shuffle import ShuffleExchangeNetwork
+from repro.endsystem.host import EndsystemConfig, EndsystemRouter
+from repro.hwmodel.area import REGISTER_SLICES, area_model
+from repro.hwmodel.host import PIII_550_LINUX24, HostCostModel
+from repro.hwmodel.timing import scheduler_throughput_pps
+from repro.hwmodel.virtex import VIRTEX_II_6000
+from repro.sim.nic import TEN_GIGABIT
+from repro.sim.pci import PCIBus
+from repro.traffic.specs import ratio_workload
+
+__all__ = [
+    "SortQualityPoint",
+    "sort_schedule_sweep",
+    "transfer_cost_sweep",
+    "pio_dma_crossover",
+    "aggregation_sweep",
+    "extensions_sweep",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SortQualityPoint:
+    """Block-order quality of one (slot count, schedule) pair."""
+
+    n_slots: int
+    schedule: str
+    passes: int
+    fully_sorted_fraction: float
+
+
+def _random_bundles(rng: np.random.Generator, n: int) -> list[HardwareAttributes]:
+    return [
+        HardwareAttributes(
+            sid=i,
+            deadline=int(rng.integers(0, 500)),
+            loss_numerator=int(rng.integers(0, 4)),
+            loss_denominator=int(rng.integers(4, 8)),
+            arrival=int(rng.integers(0, 100)),
+        )
+        for i in range(n)
+    ]
+
+
+def sort_schedule_sweep(
+    *,
+    slot_counts: tuple[int, ...] = (4, 8, 16, 32),
+    trials: int = 200,
+    seed: int = 7,
+) -> list[SortQualityPoint]:
+    """Measure emitted-block sortedness per schedule and slot count."""
+    points = []
+    for schedule in ("paper", "bitonic"):
+        for n in slot_counts:
+            rng = np.random.default_rng(seed)
+            net = ShuffleExchangeNetwork(n, wrap=False, schedule=schedule)
+            exact = 0
+            for _ in range(trials):
+                order = net.run(_random_bundles(rng, n)).order
+                keys = [ordering_key(b) for b in order]
+                exact += keys == sorted(keys)
+            points.append(
+                SortQualityPoint(
+                    n_slots=n,
+                    schedule=schedule,
+                    passes=net.passes_per_decision,
+                    fully_sorted_fraction=exact / trials,
+                )
+            )
+    return points
+
+
+def transfer_cost_sweep(
+    pio_costs_us: tuple[float, ...] = (0.0, 0.6, 1.21, 2.5, 5.0),
+    *,
+    frames_per_stream: int = 600,
+) -> list[tuple[float, float]]:
+    """Endsystem pps as a function of the per-frame PCI cost."""
+    rows = []
+    for pio_us in pio_costs_us:
+        host = HostCostModel(
+            name=f"pio={pio_us}",
+            cpu_mhz=550.0,
+            packet_cost_us=PIII_550_LINUX24.packet_cost_us,
+            pio_cost_us=pio_us,
+        )
+        specs = ratio_workload((1, 1, 2, 4), frames_per_stream=frames_per_stream)
+        router = EndsystemRouter(
+            specs, EndsystemConfig(link=TEN_GIGABIT, include_pci=True, host=host)
+        )
+        rows.append((pio_us, router.run(preload=True).throughput_pps))
+    return rows
+
+
+def pio_dma_crossover(
+    word_counts: tuple[int, ...] = (1, 4, 16, 64, 256, 1024, 4096),
+) -> list[tuple[int, float, float, str]]:
+    """(words, pio_us, dma_us, best mode) per transfer size."""
+    bus = PCIBus()
+    return [
+        (w, bus.pio_time_us(w), bus.dma_time_us(w), bus.best_mode(w))
+        for w in word_counts
+    ]
+
+
+def aggregation_sweep(
+    degrees: tuple[int, ...] = (10, 50, 100, 200),
+    *,
+    frames_per_stream: int = 4000,
+) -> list[dict]:
+    """Streamlet bandwidth and FPGA state saved per aggregation degree."""
+    from repro.experiments.figure10 import run_figure10
+
+    rows = []
+    for degree in degrees:
+        result = run_figure10(
+            frames_per_stream=frames_per_stream, streamlets_per_slot=degree
+        )
+        rep = result.representative_mbps()
+        total = 4 * degree
+        rows.append(
+            {
+                "degree": degree,
+                "total_streams": total,
+                "slot1_streamlet_mbps": rep["slot1/set1"],
+                "slot4_set1_streamlet_mbps": rep["slot4/set1"],
+                "dedicated_slices": total * REGISTER_SLICES,
+                "aggregated_slices": area_model(4, Routing.WR).register_slices,
+            }
+        )
+    return rows
+
+
+def extensions_sweep(
+    slot_counts: tuple[int, ...] = (4, 8, 16, 32),
+) -> list[dict]:
+    """Section 6 extensions priced per slot count."""
+    rows = []
+    for n in slot_counts:
+        base = scheduler_throughput_pps(n, Routing.WR)
+        ahead = scheduler_throughput_pps(n, Routing.WR, compute_ahead=True)
+        v2 = scheduler_throughput_pps(
+            n, Routing.WR, compute_ahead=True, device=VIRTEX_II_6000
+        )
+        rows.append(
+            {
+                "n_slots": n,
+                "base_pps": base.packets_per_second,
+                "compute_ahead_pps": ahead.packets_per_second,
+                "virtex2_pps": v2.packets_per_second,
+                "area_factor": area_model(n, Routing.WR, compute_ahead=True).total_slices
+                / area_model(n, Routing.WR).total_slices,
+            }
+        )
+    return rows

@@ -1,0 +1,58 @@
+"""Figure 1: the architectural-solutions framework sweep.
+
+Figure 1(a) relates QoS bounds and scale to the required scheduling
+rate; Figure 1(b) asks whether a discipline of given implementation
+complexity can realize that rate on a target.  This experiment sweeps
+(discipline, stream count, frame size, link rate, target) and reports
+realizability — reproducing the paper's qualitative map: software
+targets fall over well before gigabit wire-speeds for complex
+disciplines, the FPGA realization holds to 10 Gb/s for all but
+64-byte frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.complexity import PROFILES, FrameworkPoint, evaluate_point
+
+__all__ = ["Figure1Sweep", "run_figure1"]
+
+
+@dataclass(frozen=True, slots=True)
+class Figure1Sweep:
+    """All framework points of the sweep."""
+
+    points: tuple[FrameworkPoint, ...]
+
+    def realizable_fraction(self, target: str) -> float:
+        """Share of swept points a target can realize."""
+        subset = [p for p in self.points if p.target == target]
+        if not subset:
+            return 0.0
+        return sum(p.realizable for p in subset) / len(subset)
+
+
+def run_figure1(
+    *,
+    disciplines: tuple[str, ...] = ("edf", "wfq", "dwcs"),
+    stream_counts: tuple[int, ...] = (4, 8, 16, 32),
+    frame_sizes: tuple[int, ...] = (64, 1500),
+    link_rates: tuple[float, ...] = (1e9, 1e10),
+) -> Figure1Sweep:
+    """Sweep the Figure 1 space for software and FPGA targets."""
+    for d in disciplines:
+        if d not in PROFILES:
+            raise KeyError(f"unknown discipline {d!r}")
+    points = []
+    for discipline in disciplines:
+        for n in stream_counts:
+            for size in frame_sizes:
+                for rate in link_rates:
+                    for target in ("software", "fpga"):
+                        points.append(
+                            evaluate_point(
+                                discipline, n, size, rate, target=target
+                            )
+                        )
+    return Figure1Sweep(points=tuple(points))

@@ -1,0 +1,45 @@
+"""The Section 2 architectural framework (Figure 1)."""
+
+from repro.framework.admission import (
+    AdmissionDecision,
+    StreamRequest,
+    admit,
+    minimum_utilization,
+    slot_delay_bound,
+)
+from repro.framework.complexity import (
+    PROFILES,
+    SOFTWARE_LATENCY_US,
+    DisciplineProfile,
+    FrameworkPoint,
+    achievable_rate_dps,
+    evaluate_point,
+    required_rate_dps,
+)
+from repro.framework.packet_time import (
+    PAPER_FRAME_SIZES,
+    PAPER_LINK_RATES,
+    FeasibilityPoint,
+    feasibility,
+    packet_time_us,
+)
+
+__all__ = [
+    "AdmissionDecision",
+    "DisciplineProfile",
+    "FeasibilityPoint",
+    "FrameworkPoint",
+    "StreamRequest",
+    "admit",
+    "minimum_utilization",
+    "slot_delay_bound",
+    "PAPER_FRAME_SIZES",
+    "PAPER_LINK_RATES",
+    "PROFILES",
+    "SOFTWARE_LATENCY_US",
+    "achievable_rate_dps",
+    "evaluate_point",
+    "feasibility",
+    "packet_time_us",
+    "required_rate_dps",
+]

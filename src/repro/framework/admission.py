@@ -1,0 +1,119 @@
+"""Admission control: QoS bounds and schedulability (Figure 1's axes).
+
+The framework's *QoS Bounds* axis (bandwidth, delay, delay-jitter —
+Section 2) needs an admission test: can a set of window-constrained
+streams be scheduled so every constraint holds?  This module implements
+the standard DWCS feasibility condition from the paper's cited analysis
+(West & Poellabauer [26]):
+
+* each stream ``i`` with request period ``T_i`` and window-constraint
+  ``W_i = x_i / y_i`` *requires* a minimum utilization
+  ``U_i = (1 - x_i / y_i) / T_i`` (it must transmit at least
+  ``y_i - x_i`` of every ``y_i`` packets, one packet-time each);
+* a unit-capacity link is schedulable when ``sum_i U_i <= 1``.
+
+It also provides the per-slot **delay bound** the conclusion promises
+for aggregated streams ("the stream-slot they are bound to will be
+guaranteed a delay-bound"): a slot holding share ``1/T`` of the link
+serves its head within ``T`` packet-times once granted, so a
+streamlet queued behind ``q`` others in its slot waits at most
+``(q + 1) * T`` packet-times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "StreamRequest",
+    "AdmissionDecision",
+    "minimum_utilization",
+    "admit",
+    "slot_delay_bound",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamRequest:
+    """One stream's QoS request presented to admission control."""
+
+    stream_id: int
+    period: float  # request period T, in packet-times
+    loss_numerator: int = 0
+    loss_denominator: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.loss_numerator < 0 or self.loss_denominator < 0:
+            raise ValueError("window terms must be non-negative")
+        if self.loss_denominator and self.loss_numerator > self.loss_denominator:
+            raise ValueError("x must not exceed y")
+
+
+def minimum_utilization(request: StreamRequest) -> float:
+    """Link share the stream needs: ``(1 - x/y) / T``.
+
+    With no window tolerance (``x = 0`` or ``y = 0``) every packet must
+    go out: the full ``1/T``.
+    """
+    if request.loss_denominator == 0:
+        tolerance = 0.0
+    else:
+        tolerance = request.loss_numerator / request.loss_denominator
+    return (1.0 - tolerance) / request.period
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """Outcome of an admission test."""
+
+    admitted: bool
+    total_utilization: float
+    per_stream: dict[int, float]
+
+    @property
+    def headroom(self) -> float:
+        """Residual link share available to best-effort traffic."""
+        return max(0.0, 1.0 - self.total_utilization)
+
+
+def admit(
+    requests: list[StreamRequest], *, capacity: float = 1.0
+) -> AdmissionDecision:
+    """DWCS utilization-based admission test over a shared link.
+
+    ``capacity`` rescales for links serving other reserved traffic
+    (e.g. admit against 0.9 to keep 10% for control traffic).
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    ids = [r.stream_id for r in requests]
+    if len(set(ids)) != len(ids):
+        raise ValueError("duplicate stream ids in admission request")
+    per_stream = {r.stream_id: minimum_utilization(r) for r in requests}
+    total = sum(per_stream.values())
+    return AdmissionDecision(
+        admitted=total <= capacity,
+        total_utilization=total,
+        per_stream=per_stream,
+    )
+
+
+def slot_delay_bound(
+    period: float, *, queued_ahead: int = 0, packet_time: float = 1.0
+) -> float:
+    """Worst-case delay for a packet bound to a stream-slot.
+
+    A slot with request period ``T`` is served at least once every
+    ``T`` packet-times under an admitted schedule; a packet entering
+    with ``queued_ahead`` packets before it in the slot's queue
+    therefore leaves within ``(queued_ahead + 1) * T`` packet-times.
+    Aggregation trades per-streamlet deadlines for exactly this
+    slot-level bound (Section 6's conclusion).
+    """
+    if period <= 0 or packet_time <= 0:
+        raise ValueError("period and packet_time must be positive")
+    if queued_ahead < 0:
+        raise ValueError("queued_ahead must be non-negative")
+    return (queued_ahead + 1) * period * packet_time

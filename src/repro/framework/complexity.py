@@ -1,0 +1,180 @@
+"""Implementation-complexity model of the Figure 1 framework.
+
+Section 2 decomposes a dynamic-priority discipline's implementation
+complexity into three factors:
+
+* **State storage** — attributes/counters kept per stream;
+* **Attribute-comparison complexity** — how many attributes one
+  pairwise decision consults (EDF/WFQ: one; DWCS: several);
+* **Winner-selection and priority-update rates** — whether priorities
+  must be recomputed every decision cycle.
+
+The framework (Figure 1a) relates *QoS bounds* and *scale* (stream
+count, granularity) to a required *scheduling rate*, and Figure 1b asks
+whether that rate is realizable for a discipline of given complexity.
+This module encodes both: a per-discipline complexity profile and the
+achievable-rate / required-rate comparison for processor and FPGA
+targets, using the Section 4.1 software-latency measurements and the
+calibrated FPGA timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Routing
+from repro.framework.packet_time import packet_time_us
+from repro.hwmodel.timing import decision_time_us
+
+__all__ = [
+    "DisciplineProfile",
+    "PROFILES",
+    "SOFTWARE_LATENCY_US",
+    "required_rate_dps",
+    "achievable_rate_dps",
+    "FrameworkPoint",
+    "evaluate_point",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DisciplineProfile:
+    """Complexity profile of one discipline family (Figure 1b)."""
+
+    name: str
+    state_bits_per_stream: int
+    comparison_attributes: int
+    updates_every_cycle: bool
+
+    @property
+    def complexity_score(self) -> float:
+        """Relative implementation complexity (dimensionless ranking).
+
+        Comparison width and a per-cycle-update multiplier dominate;
+        state is cheap in CLB flip-flops.  Used only to *rank*
+        disciplines as Figure 1b does, not as an absolute cost.
+        """
+        update_factor = 2.0 if self.updates_every_cycle else 1.0
+        return (
+            self.comparison_attributes * update_factor
+            + self.state_bits_per_stream / 64.0
+        )
+
+
+#: Per-stream register widths follow Figure 4's field sizes.
+PROFILES: dict[str, DisciplineProfile] = {
+    "fcfs": DisciplineProfile("fcfs", 16, 1, False),
+    "static_priority": DisciplineProfile("static_priority", 21, 1, False),
+    "edf": DisciplineProfile("edf", 37, 1, False),
+    "wfq": DisciplineProfile("wfq", 53, 1, False),
+    "sfq": DisciplineProfile("sfq", 53, 1, False),
+    "drr": DisciplineProfile("drr", 37, 1, False),
+    "dwcs": DisciplineProfile("dwcs", 53, 4, True),
+}
+
+#: Measured software scheduler latencies the paper cites (Section 4.1),
+#: microseconds per decision.
+SOFTWARE_LATENCY_US: dict[str, float] = {
+    "dwcs @ UltraSPARC 300MHz (West et al.)": 50.0,
+    "dwcs @ i960RD 66MHz (Krishnamurthy et al.)": 67.0,
+    "drr @ Pentium 233MHz NetBSD (Decasper et al.)": 35.0,
+    "hfsc @ Pentium 200MHz (Stoica et al.)": 8.5,
+}
+
+
+def required_rate_dps(
+    n_streams: int, length_bytes: int, rate_bps: float
+) -> float:
+    """Decisions/second needed to keep a link busy at a frame size.
+
+    One decision per packet-time; independent of stream count for
+    winner-per-decision operation (more streams raise the *decision
+    latency*, handled on the achievable side).
+    """
+    if n_streams <= 0:
+        raise ValueError("need at least one stream")
+    return 1e6 / packet_time_us(length_bytes, rate_bps)
+
+
+def achievable_rate_dps(
+    discipline: str,
+    n_slots: int,
+    *,
+    target: str = "fpga",
+    routing: Routing = Routing.WR,
+    software_latency_us: float | None = None,
+) -> float:
+    """Decisions/second a target sustains for a discipline.
+
+    ``target="fpga"`` uses the calibrated Virtex timing model (the
+    decision latency is discipline-independent by construction of the
+    canonical architecture — that is the point of the single-cycle
+    Decision block).  ``target="software"`` uses a measured or supplied
+    per-decision latency.
+    """
+    if target == "fpga":
+        return 1e6 / decision_time_us(n_slots, routing)
+    if target == "software":
+        if software_latency_us is None:
+            # Default to the paper's P-III-era DWCS figure scaled by
+            # comparison width relative to DWCS.
+            profile = PROFILES[discipline]
+            software_latency_us = 50.0 * (
+                profile.complexity_score / PROFILES["dwcs"].complexity_score
+            )
+        return 1e6 / software_latency_us
+    raise ValueError(f"unknown target {target!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class FrameworkPoint:
+    """One (discipline, scale, link) point in the Figure 1 space."""
+
+    discipline: str
+    n_streams: int
+    length_bytes: int
+    rate_bps: float
+    target: str
+    required_dps: float
+    achievable_dps: float
+
+    @property
+    def realizable(self) -> bool:
+        """Whether the target sustains the required scheduling rate."""
+        return self.achievable_dps >= self.required_dps
+
+    @property
+    def headroom(self) -> float:
+        """achievable / required (>= 1 means realizable)."""
+        return self.achievable_dps / self.required_dps
+
+
+def evaluate_point(
+    discipline: str,
+    n_streams: int,
+    length_bytes: int,
+    rate_bps: float,
+    *,
+    target: str = "fpga",
+    routing: Routing = Routing.WR,
+    software_latency_us: float | None = None,
+) -> FrameworkPoint:
+    """Evaluate realizability of one framework point (Figure 1)."""
+    if discipline not in PROFILES:
+        raise KeyError(f"unknown discipline {discipline!r}")
+    n_slots = max(2, 1 << (n_streams - 1).bit_length())
+    return FrameworkPoint(
+        discipline=discipline,
+        n_streams=n_streams,
+        length_bytes=length_bytes,
+        rate_bps=rate_bps,
+        target=target,
+        required_dps=required_rate_dps(n_streams, length_bytes, rate_bps),
+        achievable_dps=achievable_rate_dps(
+            discipline,
+            n_slots,
+            target=target,
+            routing=routing,
+            software_latency_us=software_latency_us,
+        ),
+    )

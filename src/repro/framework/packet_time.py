@@ -1,0 +1,91 @@
+"""Packet-time arithmetic and wire-speed feasibility checks.
+
+"Scheduling disciplines must be able to make a decision within a
+packet-time (packet-length(in bits) / line-speed(bps)) to maintain high
+link utilization." (Section 1.)  This module provides the packet-time
+figures the paper quotes (64-byte and 1500-byte Ethernet frames on
+1 Gb/s and 10 Gb/s links) and the feasibility predicate behind its
+claim that "our Virtex I implementation can easily meet the packet-time
+requirements of all frame sizes on gigabit links, and 1500-byte frames
+on 10 Gbps links".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Routing
+from repro.hwmodel.timing import decision_time_us
+
+__all__ = [
+    "packet_time_us",
+    "FeasibilityPoint",
+    "feasibility",
+    "PAPER_FRAME_SIZES",
+    "PAPER_LINK_RATES",
+]
+
+#: Frame sizes the paper reasons about (bytes).
+PAPER_FRAME_SIZES = (64, 1500)
+#: Link rates the paper reasons about (bits/second).
+PAPER_LINK_RATES = {"1Gbps": 1e9, "10Gbps": 1e10}
+
+
+def packet_time_us(length_bytes: int, rate_bps: float) -> float:
+    """Serialization time of one frame, in microseconds."""
+    if length_bytes <= 0:
+        raise ValueError("length must be positive")
+    if rate_bps <= 0:
+        raise ValueError("rate must be positive")
+    return length_bytes * 8 / rate_bps * 1e6
+
+
+@dataclass(frozen=True, slots=True)
+class FeasibilityPoint:
+    """Whether a design point meets a link's packet-time."""
+
+    n_slots: int
+    routing: Routing
+    length_bytes: int
+    rate_bps: float
+    block: bool
+    decision_us: float
+    packet_us: float
+
+    @property
+    def effective_decision_us(self) -> float:
+        """Decision time per packet (a block amortizes over N packets)."""
+        if self.block:
+            return self.decision_us / self.n_slots
+        return self.decision_us
+
+    @property
+    def feasible(self) -> bool:
+        """True when a decision completes within one packet-time."""
+        return self.effective_decision_us <= self.packet_us
+
+    @property
+    def margin(self) -> float:
+        """packet-time / per-packet decision time (>= 1 is feasible)."""
+        return self.packet_us / self.effective_decision_us
+
+
+def feasibility(
+    n_slots: int,
+    length_bytes: int,
+    rate_bps: float,
+    *,
+    routing: Routing = Routing.WR,
+    block: bool = False,
+    schedule: str = "paper",
+) -> FeasibilityPoint:
+    """Evaluate one (design, frame size, link rate) feasibility point."""
+    return FeasibilityPoint(
+        n_slots=n_slots,
+        routing=routing,
+        length_bytes=length_bytes,
+        rate_bps=rate_bps,
+        block=block,
+        decision_us=decision_time_us(n_slots, routing, schedule=schedule),
+        packet_us=packet_time_us(length_bytes, rate_bps),
+    )

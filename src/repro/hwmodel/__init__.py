@@ -1,0 +1,47 @@
+"""Calibrated Virtex FPGA area / clock / throughput models."""
+
+from repro.hwmodel.area import (
+    CONTROL_SLICES,
+    DECISION_SLICES,
+    REGISTER_SLICES,
+    AreaBreakdown,
+    area_model,
+)
+from repro.hwmodel.host import (
+    PIII_550_LINUX24,
+    PUBLISHED_COMPARATORS,
+    HostCostModel,
+)
+from repro.hwmodel.scaling import ScalingPlan, provision
+from repro.hwmodel.timing import (
+    DECISION_OVERHEAD_CYCLES,
+    ThroughputPoint,
+    clock_rate_mhz,
+    decision_cycles,
+    decision_time_us,
+    scheduler_throughput_pps,
+)
+from repro.hwmodel.virtex import DEVICES, VIRTEX_1000, VIRTEX_II_6000, VirtexDevice
+
+__all__ = [
+    "AreaBreakdown",
+    "CONTROL_SLICES",
+    "DECISION_OVERHEAD_CYCLES",
+    "DECISION_SLICES",
+    "DEVICES",
+    "HostCostModel",
+    "PIII_550_LINUX24",
+    "PUBLISHED_COMPARATORS",
+    "REGISTER_SLICES",
+    "ScalingPlan",
+    "ThroughputPoint",
+    "VIRTEX_1000",
+    "VIRTEX_II_6000",
+    "VirtexDevice",
+    "area_model",
+    "clock_rate_mhz",
+    "decision_cycles",
+    "decision_time_us",
+    "provision",
+    "scheduler_throughput_pps",
+]

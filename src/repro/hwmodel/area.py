@@ -1,0 +1,121 @@
+"""Slice-level area model of the scheduler core (Figure 7, left axis).
+
+Section 5.1 reports the measured per-block areas of the Virtex-I
+implementation:
+
+* Control & Steering logic block — **22 slices**,
+* Decision block — **190 slices**,
+* Register Base block — **150 slices**,
+
+plus shuffle-network wires and pass-through CLBs whose area "is
+dependent on the stream-slot count of a given design"; the paper states
+total area "grows linearly" with slots and that the BA (block) variant
+"maintains almost the same area" as WR for all slot counts.
+
+The model therefore sums the reported block costs and a per-slot
+interconnect term, slightly larger for BA (routing winners *and*
+losers).  The interconnect coefficients are the only fitted constants
+and are chosen so a 32-slot design still places on a Virtex 1000 (the
+paper: "easily scales from 4 to 32 stream-slots on a single chip").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Routing
+from repro.hwmodel.virtex import VIRTEX_1000, VirtexDevice
+
+__all__ = [
+    "CONTROL_SLICES",
+    "DECISION_SLICES",
+    "REGISTER_SLICES",
+    "AreaBreakdown",
+    "area_model",
+]
+
+#: Measured slice costs from Section 5.1.
+CONTROL_SLICES = 22
+DECISION_SLICES = 190
+REGISTER_SLICES = 150
+
+#: Area multiplier for compute-ahead Register Base blocks (Section 6):
+#: predication duplicates the attribute-adjustment datapath (winner and
+#: loser next-states computed speculatively) plus a select mux.  The
+#: adjustment logic is roughly half the register block, so ~1.45x.
+COMPUTE_AHEAD_REGISTER_FACTOR = 1.45
+
+#: Fitted per-slot interconnect (shuffle wires + pass-through CLBs).
+_INTERCONNECT_SLICES_PER_SLOT = {
+    Routing.BA: 42.0,  # winners and losers routed
+    Routing.WR: 30.0,  # winner-only routing eases the spread
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AreaBreakdown:
+    """Slice budget of one scheduler design point."""
+
+    n_slots: int
+    routing: Routing
+    control_slices: int
+    decision_slices: int
+    register_slices: int
+    interconnect_slices: float
+    device: VirtexDevice
+
+    @property
+    def total_slices(self) -> float:
+        """Total design area in slices."""
+        return (
+            self.control_slices
+            + self.decision_slices
+            + self.register_slices
+            + self.interconnect_slices
+        )
+
+    @property
+    def total_clbs(self) -> float:
+        """Total area in CLBs (Figure 7 plots CLBs on Virtex-I)."""
+        return self.total_slices / self.device.slices_per_clb
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the device consumed."""
+        return self.device.utilization(self.total_slices)
+
+    @property
+    def fits(self) -> bool:
+        """Whether the design places on the device."""
+        return self.device.fits(self.total_slices)
+
+
+def area_model(
+    n_slots: int,
+    routing: Routing = Routing.BA,
+    device: VirtexDevice = VIRTEX_1000,
+    *,
+    compute_ahead: bool = False,
+) -> AreaBreakdown:
+    """Area of an ``n_slots`` scheduler in the given routing variant.
+
+    Linear in the slot count by construction — N register blocks, N/2
+    decision blocks, one control block, and per-slot interconnect —
+    matching the paper's "architecture grows linearly, in terms of
+    area" for both BA and WR.  ``compute_ahead`` prices the Section 6
+    predicated register blocks.
+    """
+    if n_slots < 2 or n_slots % 2:
+        raise ValueError(f"n_slots must be an even count >= 2, got {n_slots}")
+    register = n_slots * REGISTER_SLICES
+    if compute_ahead:
+        register = round(register * COMPUTE_AHEAD_REGISTER_FACTOR)
+    return AreaBreakdown(
+        n_slots=n_slots,
+        routing=routing,
+        control_slices=CONTROL_SLICES,
+        decision_slices=(n_slots // 2) * DECISION_SLICES,
+        register_slices=register,
+        interconnect_slices=n_slots * _INTERCONNECT_SLICES_PER_SLOT[routing],
+        device=device,
+    )

@@ -1,0 +1,107 @@
+"""Scaling model: from one chip to backbone stream counts.
+
+Section 4.2: "The line-card realization is critical for operation in a
+network backbone where thousands of streams are switched and routed by
+network hardware."  A single chip holds at most 32 stream-slots (the
+5-bit ID field); scale beyond that comes from two directions the paper
+provides:
+
+* **aggregation** — up to hundreds of streamlets per slot (coarser QoS);
+* **replication** — multiple scheduler instances (one per line-card
+  port, or multiple cores on a larger device).
+
+This module answers the provisioning question: given a stream
+population with a required fraction of *per-stream* QoS streams (which
+must own slots) and an aggregation degree for the rest, how many slots,
+chips and slices are needed — and what does Figure 1's scheduling-rate
+axis say about the per-chip decision load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import Routing
+from repro.core.fields import MAX_STREAM_SLOTS
+from repro.hwmodel.area import area_model
+from repro.hwmodel.timing import clock_rate_mhz, decision_cycles
+from repro.hwmodel.virtex import VIRTEX_1000, VirtexDevice
+
+__all__ = ["ScalingPlan", "provision"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPlan:
+    """Provisioning result for a stream population."""
+
+    total_streams: int
+    qos_streams: int
+    aggregated_streams: int
+    aggregation_degree: int
+    slots_needed: int
+    slots_per_chip: int
+    chips: int
+    slices_per_chip: float
+    utilization_per_chip: float
+    decisions_per_second_per_chip: float
+
+    @property
+    def streams_per_chip(self) -> float:
+        """Average stream count carried per chip."""
+        return self.total_streams / self.chips if self.chips else 0.0
+
+
+def provision(
+    total_streams: int,
+    *,
+    per_stream_qos_fraction: float = 0.1,
+    aggregation_degree: int = 100,
+    device: VirtexDevice = VIRTEX_1000,
+    routing: Routing = Routing.WR,
+) -> ScalingPlan:
+    """Provision chips for a stream population.
+
+    Parameters
+    ----------
+    total_streams:
+        Streams to carry (e.g. a backbone line-card's flow count).
+    per_stream_qos_fraction:
+        Fraction requiring individual QoS (a dedicated slot each).
+    aggregation_degree:
+        Streamlets multiplexed onto each remaining slot.
+    """
+    if total_streams <= 0:
+        raise ValueError("need at least one stream")
+    if not 0 <= per_stream_qos_fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    if aggregation_degree <= 0:
+        raise ValueError("aggregation degree must be positive")
+
+    qos_streams = math.ceil(total_streams * per_stream_qos_fraction)
+    aggregated = total_streams - qos_streams
+    slots_needed = qos_streams + math.ceil(aggregated / aggregation_degree)
+
+    # Largest power-of-two slot count that places on the device.
+    slots_per_chip = 2
+    while slots_per_chip * 2 <= MAX_STREAM_SLOTS and area_model(
+        slots_per_chip * 2, routing, device
+    ).fits:
+        slots_per_chip *= 2
+
+    chips = math.ceil(slots_needed / slots_per_chip)
+    area = area_model(slots_per_chip, routing, device)
+    clock = clock_rate_mhz(slots_per_chip, routing, device)
+    dps = clock * 1e6 / decision_cycles(slots_per_chip)
+    return ScalingPlan(
+        total_streams=total_streams,
+        qos_streams=qos_streams,
+        aggregated_streams=aggregated,
+        aggregation_degree=aggregation_degree,
+        slots_needed=slots_needed,
+        slots_per_chip=slots_per_chip,
+        chips=chips,
+        slices_per_chip=area.total_slices,
+        utilization_per_chip=area.utilization,
+        decisions_per_second_per_chip=dps,
+    )

@@ -1,0 +1,80 @@
+"""Xilinx Virtex device catalog used by the area/timing models.
+
+The paper's prototype runs on a Celoxica RC1000 PCI card carrying a
+Xilinx **Virtex 1000**: "A Virtex 1000 part has an equivalent of
+1 million system gates with 64 x 96 Virtex I CLBs (2 Virtex I slices =
+1 Virtex I CLB).  A slice includes LUTs and flip-flops and is the basic
+logic element." (Section 5.1.)  Virtex-II entries cover the future-work
+discussion (hard multipliers, immersed PowerPC cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VirtexDevice", "VIRTEX_1000", "VIRTEX_II_6000", "DEVICES"]
+
+
+@dataclass(frozen=True, slots=True)
+class VirtexDevice:
+    """One FPGA part: logic capacity and card-level clock ceiling."""
+
+    name: str
+    family: str
+    clb_rows: int
+    clb_cols: int
+    slices_per_clb: int
+    system_gates: int
+    max_clock_mhz: float
+
+    @property
+    def clbs(self) -> int:
+        """Total configurable logic blocks."""
+        return self.clb_rows * self.clb_cols
+
+    @property
+    def slices(self) -> int:
+        """Total slices (the basic logic element the area model counts)."""
+        return self.clbs * self.slices_per_clb
+
+    def utilization(self, used_slices: float) -> float:
+        """Fraction of the device's slices a design consumes."""
+        if used_slices < 0:
+            raise ValueError("used_slices must be non-negative")
+        return used_slices / self.slices
+
+    def fits(self, used_slices: float, *, max_utilization: float = 0.9) -> bool:
+        """Whether a design places at a routable utilization level.
+
+        FPGA designs become unroutable well before 100% utilization;
+        0.9 is a conventional placement ceiling.
+        """
+        return self.utilization(used_slices) <= max_utilization
+
+
+#: The paper's prototype device (Celoxica RC1000 card).
+VIRTEX_1000 = VirtexDevice(
+    name="XCV1000",
+    family="Virtex-I",
+    clb_rows=64,
+    clb_cols=96,
+    slices_per_clb=2,
+    system_gates=1_000_000,
+    max_clock_mhz=100.0,
+)
+
+#: Future-work target (Section 6: hard multipliers, higher clock).
+VIRTEX_II_6000 = VirtexDevice(
+    name="XC2V6000",
+    family="Virtex-II",
+    clb_rows=96,
+    clb_cols=88,
+    slices_per_clb=4,
+    system_gates=6_000_000,
+    max_clock_mhz=200.0,
+)
+
+DEVICES: dict[str, VirtexDevice] = {
+    VIRTEX_1000.name: VIRTEX_1000,
+    VIRTEX_II_6000.name: VIRTEX_II_6000,
+}

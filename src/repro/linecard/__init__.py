@@ -1,0 +1,13 @@
+"""Switch line-card realization of the ShareStreams architecture."""
+
+from repro.linecard.fabric import DualPortedSRAM, FabricStats, SwitchFabric
+from repro.linecard.linecard import FabricLinecard, Linecard, LinecardResult
+
+__all__ = [
+    "DualPortedSRAM",
+    "FabricLinecard",
+    "FabricStats",
+    "Linecard",
+    "LinecardResult",
+    "SwitchFabric",
+]

@@ -1,0 +1,23 @@
+"""Measurement and reporting: bandwidth, delay, counters, rendering."""
+
+from repro.metrics.bandwidth import BandwidthMeter, BandwidthSeries
+from repro.metrics.delay import DelaySeries, DelayTracker
+from repro.metrics.export import (
+    write_bandwidth_csv,
+    write_delay_csv,
+    write_rows_csv,
+)
+from repro.metrics.report import format_quantity, render_series, render_table
+
+__all__ = [
+    "BandwidthMeter",
+    "BandwidthSeries",
+    "DelaySeries",
+    "DelayTracker",
+    "format_quantity",
+    "render_series",
+    "render_table",
+    "write_bandwidth_csv",
+    "write_delay_csv",
+    "write_rows_csv",
+]

@@ -1,0 +1,94 @@
+"""Per-stream queuing-delay measurement (Figure 9).
+
+Queuing delay = departure time − arrival time of each frame.  The
+tracker stores raw pairs and reduces them to per-frame or windowed
+series with NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DelaySeries", "DelayTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class DelaySeries:
+    """Queuing delays of one stream, in frame order."""
+
+    stream_id: int
+    departures_us: np.ndarray
+    delays_us: np.ndarray
+
+    @property
+    def mean_us(self) -> float:
+        """Mean queuing delay."""
+        return float(self.delays_us.mean()) if len(self.delays_us) else 0.0
+
+    @property
+    def max_us(self) -> float:
+        """Worst-case queuing delay."""
+        return float(self.delays_us.max()) if len(self.delays_us) else 0.0
+
+    def percentile_us(self, q: float) -> float:
+        """Delay percentile (q in [0, 100])."""
+        if not len(self.delays_us):
+            return 0.0
+        return float(np.percentile(self.delays_us, q))
+
+    @property
+    def jitter_us(self) -> float:
+        """Delay jitter: mean absolute delay difference between
+        consecutive frames (RFC 3550-style inter-arrival jitter, the
+        paper's third QoS bound alongside bandwidth and delay)."""
+        if len(self.delays_us) < 2:
+            return 0.0
+        return float(np.abs(np.diff(self.delays_us)).mean())
+
+    @property
+    def peak_to_peak_jitter_us(self) -> float:
+        """Worst-case delay variation (max - min delay)."""
+        if not len(self.delays_us):
+            return 0.0
+        return float(self.delays_us.max() - self.delays_us.min())
+
+    def smoothed(self, window: int) -> np.ndarray:
+        """Moving average over ``window`` frames (plot smoothing)."""
+        if window <= 1 or len(self.delays_us) < window:
+            return self.delays_us
+        kernel = np.ones(window) / window
+        return np.convolve(self.delays_us, kernel, mode="valid")
+
+
+class DelayTracker:
+    """Accumulates (arrival, departure) pairs per stream."""
+
+    def __init__(self) -> None:
+        self._arrivals: dict[int, list[float]] = {}
+        self._departures: dict[int, list[float]] = {}
+
+    def record(self, stream_id: int, arrival_us: float, departure_us: float) -> None:
+        """Record one frame's arrival and departure times."""
+        if departure_us < arrival_us:
+            raise ValueError("departure precedes arrival")
+        self._arrivals.setdefault(stream_id, []).append(arrival_us)
+        self._departures.setdefault(stream_id, []).append(departure_us)
+
+    @property
+    def stream_ids(self) -> list[int]:
+        """Streams with at least one recorded frame."""
+        return sorted(self._arrivals)
+
+    def series(self, stream_id: int) -> DelaySeries:
+        """Per-frame delay series for one stream."""
+        arrivals = np.asarray(self._arrivals.get(stream_id, ()), dtype=np.float64)
+        departures = np.asarray(
+            self._departures.get(stream_id, ()), dtype=np.float64
+        )
+        return DelaySeries(
+            stream_id=stream_id,
+            departures_us=departures,
+            delays_us=departures - arrivals,
+        )

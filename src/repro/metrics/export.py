@@ -1,0 +1,72 @@
+"""CSV export of experiment series (figure data artifacts).
+
+The benchmark harness prints tables; anyone re-plotting the figures
+wants machine-readable data.  These helpers write the bandwidth/delay
+series and generic row tables to CSV with stdlib ``csv`` only.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.metrics.bandwidth import BandwidthSeries
+from repro.metrics.delay import DelaySeries
+
+__all__ = ["write_rows_csv", "write_bandwidth_csv", "write_delay_csv"]
+
+
+def write_rows_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write a generic table to CSV; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError("row width does not match headers")
+            writer.writerow(row)
+    return path
+
+
+def write_bandwidth_csv(
+    path: str | Path, series: dict[int, BandwidthSeries]
+) -> Path:
+    """Write per-stream windowed bandwidth (Figure 8/10 data).
+
+    Columns: window end time (us), then one MBps column per stream.
+    All series must share the same window grid.
+    """
+    if not series:
+        raise ValueError("no series to export")
+    sids = sorted(series)
+    grid = series[sids[0]].times_us
+    for sid in sids[1:]:
+        if len(series[sid].times_us) != len(grid):
+            raise ValueError("series do not share a window grid")
+    headers = ["t_end_us"] + [f"stream{sid}_mbps" for sid in sids]
+    rows = [
+        [float(grid[i])] + [float(series[sid].mbps[i]) for sid in sids]
+        for i in range(len(grid))
+    ]
+    return write_rows_csv(path, headers, rows)
+
+
+def write_delay_csv(path: str | Path, series: dict[int, DelaySeries]) -> Path:
+    """Write per-frame delays, one row per (stream, frame) pair
+    (Figure 9 data).  Columns: stream, departure time (us), delay (us).
+    """
+    if not series:
+        raise ValueError("no series to export")
+    rows = []
+    for sid in sorted(series):
+        s = series[sid]
+        for t, d in zip(s.departures_us, s.delays_us):
+            rows.append([sid, float(t), float(d)])
+    return write_rows_csv(path, ["stream", "departure_us", "delay_us"], rows)

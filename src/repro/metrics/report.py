@@ -1,0 +1,92 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports; this module renders them uniformly (aligned ASCII
+tables, compact numeric series) so `pytest benchmarks/ --benchmark-only`
+output doubles as the reproduction record copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "format_quantity"]
+
+
+def format_quantity(value: float, *, digits: int = 4) -> str:
+    """Human-friendly formatting for mixed-magnitude numbers."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return f"{int(value):,}"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6:
+        return f"{value:,.0f}"
+    if magnitude >= 1:
+        return f"{value:,.{digits}g}"
+    return f"{value:.{digits}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [
+        [
+            cell if isinstance(cell, str) else format_quantity(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    max_points: int = 16,
+    x_unit: str = "",
+    y_unit: str = "",
+) -> str:
+    """Render a numeric series, down-sampled to ``max_points`` columns.
+
+    Down-sampling averages within equal-width chunks so the printed
+    series preserves the figure's shape (ramps, zig-zags, plateaus).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape:
+        raise ValueError("x and y lengths differ")
+    if len(xs) > max_points:
+        chunks = np.array_split(np.arange(len(xs)), max_points)
+        xs = np.array([xs[c].mean() for c in chunks])
+        ys = np.array([ys[c].mean() for c in chunks])
+    pairs = "  ".join(
+        f"{format_quantity(float(x), digits=3)}:{format_quantity(float(y), digits=3)}"
+        for x, y in zip(xs, ys)
+    )
+    units = f" [{x_unit} : {y_unit}]" if (x_unit or y_unit) else ""
+    return f"{label}{units}  {pairs}"

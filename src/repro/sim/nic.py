@@ -1,0 +1,85 @@
+"""Network link and transmission port models.
+
+Packet-time — length(bits) / line-speed(bps) — is the paper's central
+performance yardstick: "Scheduling disciplines must be able to make a
+decision within a packet-time to maintain high link utilization"
+(Section 1).  :class:`Link` provides those figures; :class:`TxPort`
+couples a link to the DES engine as a serially-busy transmitter the
+Transmission Engine pushes scheduled frames into (the NI with DMA pulls
+of Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Link", "TxPort", "GIGABIT", "TEN_GIGABIT"]
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """An output link of a given line rate."""
+
+    name: str
+    rate_bps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+
+    def packet_time_us(self, length_bytes: int) -> float:
+        """Serialization time of one frame, in microseconds."""
+        if length_bytes <= 0:
+            raise ValueError("frame length must be positive")
+        return length_bytes * 8 / self.rate_bps * 1e6
+
+    def packets_per_second(self, length_bytes: int) -> float:
+        """Line-rate frame throughput for a fixed frame size."""
+        return 1e6 / self.packet_time_us(length_bytes)
+
+
+GIGABIT = Link("1GbE", 1e9)
+TEN_GIGABIT = Link("10GbE", 1e10)
+
+
+class TxPort:
+    """Serially-busy transmitter bound to a simulator and a link.
+
+    ``transmit`` queues a frame for the wire; frames serialize one at a
+    time in submission order.  An optional completion callback receives
+    ``(frame, finish_time)`` — the delay metrics hook in there.
+    """
+
+    def __init__(self, sim: Simulator, link: Link) -> None:
+        self.sim = sim
+        self.link = link
+        self.busy_until = 0.0
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    def transmit(
+        self,
+        frame: Any,
+        length_bytes: int,
+        on_done: Callable[[Any, float], None] | None = None,
+    ) -> float:
+        """Enqueue one frame on the wire; returns its finish time."""
+        start = max(self.sim.now, self.busy_until)
+        finish = start + self.link.packet_time_us(length_bytes)
+        self.busy_until = finish
+        self.frames_sent += 1
+        self.bytes_sent += length_bytes
+        if on_done is not None:
+            self.sim.schedule_at(finish, on_done, frame, finish)
+        return finish
+
+    @property
+    def utilization_until_now(self) -> float:
+        """Fraction of elapsed time the wire has carried bits."""
+        if self.sim.now <= 0:
+            return 0.0
+        busy_us = self.bytes_sent * 8 / self.link.rate_bps * 1e6
+        return min(1.0, busy_us / self.sim.now)

@@ -1,0 +1,191 @@
+"""Synchronization-free single-producer/single-consumer circular queues.
+
+"ShareStreams' per-stream queues are circular buffers with separate
+read and write pointers for concurrent access, without any
+synchronization needs.  This allows a producer to populate the
+per-stream queues, while the Transmission Engine may concurrently
+transfer scheduled frames to the network." (Section 4.2.)
+
+Two variants:
+
+* :class:`CircularQueue` — generic object ring (packets, descriptors);
+* :class:`ArrivalRing` — NumPy-backed ring of 16-bit arrival-time
+  offsets (the exact payload the stream processor pushes to the FPGA
+  card), with vectorized batch push/pop so the streaming unit's bulk
+  PCI transfers stay out of Python-level loops.
+
+Both use monotonically increasing read/write counters masked by a
+power-of-two capacity — the lock-free SPSC idiom the paper's design
+relies on (a producer only advances the write pointer, a consumer only
+the read pointer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["CircularQueue", "ArrivalRing"]
+
+
+def _round_up_pow2(n: int) -> int:
+    if n <= 0:
+        raise ValueError("capacity must be positive")
+    return 1 << (n - 1).bit_length()
+
+
+class CircularQueue:
+    """Bounded SPSC ring of Python objects.
+
+    ``capacity`` rounds up to a power of two so index masking replaces
+    modulo.  ``push`` returns ``False`` when full (the producer must
+    back off — there is no blocking, matching the hardware queues).
+    """
+
+    __slots__ = ("_buf", "_mask", "_read", "_write")
+
+    def __init__(self, capacity: int) -> None:
+        cap = _round_up_pow2(capacity)
+        self._buf: list[Any] = [None] * cap
+        self._mask = cap - 1
+        self._read = 0
+        self._write = 0
+
+    @property
+    def capacity(self) -> int:
+        """Usable slots in the ring."""
+        return self._mask + 1
+
+    def __len__(self) -> int:
+        return self._write - self._read
+
+    @property
+    def free(self) -> int:
+        """Slots available to the producer."""
+        return self.capacity - len(self)
+
+    @property
+    def full(self) -> bool:
+        """Whether a push would fail."""
+        return len(self) == self.capacity
+
+    def push(self, item: Any) -> bool:
+        """Producer side: append one item; False when the ring is full."""
+        if self.full:
+            return False
+        self._buf[self._write & self._mask] = item
+        self._write += 1
+        return True
+
+    def pop(self) -> Any | None:
+        """Consumer side: remove the oldest item; None when empty."""
+        if self._read == self._write:
+            return None
+        item = self._buf[self._read & self._mask]
+        self._buf[self._read & self._mask] = None  # drop the reference
+        self._read += 1
+        return item
+
+    def peek(self) -> Any | None:
+        """The oldest item without removing it."""
+        if self._read == self._write:
+            return None
+        return self._buf[self._read & self._mask]
+
+    def extend(self, items: Iterable[Any]) -> int:
+        """Push items until the ring fills; returns how many went in."""
+        pushed = 0
+        for item in items:
+            if not self.push(item):
+                break
+            pushed += 1
+        return pushed
+
+
+class ArrivalRing:
+    """NumPy-backed ring of 16-bit arrival-time offsets.
+
+    Models the card-SRAM per-stream queues holding the 16-bit
+    arrival-time offsets the stream processor transfers (Figure 3 /
+    Section 5.1: "we transferred 64000 16-bit packet arrival times from
+    each of the four queues").  Batch operations are vectorized.
+    """
+
+    __slots__ = ("_buf", "_mask", "_read", "_write")
+
+    def __init__(self, capacity: int) -> None:
+        cap = _round_up_pow2(capacity)
+        self._buf = np.zeros(cap, dtype=np.uint16)
+        self._mask = cap - 1
+        self._read = 0
+        self._write = 0
+
+    @property
+    def capacity(self) -> int:
+        """Usable slots in the ring."""
+        return self._mask + 1
+
+    def __len__(self) -> int:
+        return self._write - self._read
+
+    @property
+    def free(self) -> int:
+        """Slots available to the producer."""
+        return self.capacity - len(self)
+
+    def push_batch(self, values: np.ndarray) -> int:
+        """Append up to ``len(values)`` offsets; returns the count taken.
+
+        Wraps around the ring boundary with at most two slice copies —
+        no per-element Python work.
+        """
+        values = np.asarray(values, dtype=np.uint16)
+        n = min(len(values), self.free)
+        if n == 0:
+            return 0
+        start = self._write & self._mask
+        first = min(n, self.capacity - start)
+        self._buf[start : start + first] = values[:first]
+        if n > first:
+            self._buf[: n - first] = values[first:n]
+        self._write += n
+        return n
+
+    def pop_batch(self, n: int) -> np.ndarray:
+        """Remove and return up to ``n`` oldest offsets (vectorized)."""
+        n = min(n, len(self))
+        if n <= 0:
+            return np.empty(0, dtype=np.uint16)
+        start = self._read & self._mask
+        first = min(n, self.capacity - start)
+        if n <= first:
+            out = self._buf[start : start + n].copy()
+        else:
+            out = np.concatenate(
+                (self._buf[start:], self._buf[: n - first])
+            )
+        self._read += n
+        return out
+
+    def push(self, value: int) -> bool:
+        """Single-offset convenience push."""
+        if self.free == 0:
+            return False
+        self._buf[self._write & self._mask] = value
+        self._write += 1
+        return True
+
+    def pop(self) -> int | None:
+        """Single-offset convenience pop."""
+        if self._read == self._write:
+            return None
+        value = int(self._buf[self._read & self._mask])
+        self._read += 1
+        return value
+
+    def peek(self) -> int | None:
+        """The oldest offset without removing it."""
+        if self._read == self._write:
+            return None
+        return int(self._buf[self._read & self._mask])

@@ -1,0 +1,27 @@
+"""Workload generation: arrival processes and stream specifications."""
+
+from repro.traffic.generators import (
+    backlogged_arrivals,
+    burst_arrivals,
+    cbr_arrivals,
+    poisson_arrivals,
+)
+from repro.traffic.mpeg import GoPPattern, mpeg_frame_sizes, mpeg_stream
+from repro.traffic.specs import (
+    EndsystemStreamSpec,
+    periods_for_shares,
+    ratio_workload,
+)
+
+__all__ = [
+    "EndsystemStreamSpec",
+    "GoPPattern",
+    "backlogged_arrivals",
+    "burst_arrivals",
+    "cbr_arrivals",
+    "mpeg_frame_sizes",
+    "mpeg_stream",
+    "periods_for_shares",
+    "poisson_arrivals",
+    "ratio_workload",
+]

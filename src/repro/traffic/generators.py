@@ -1,0 +1,84 @@
+"""Synthetic traffic generators (arrival-time producers).
+
+The paper's endsystem evaluation feeds the system from a software
+traffic generator: 64000 16-bit packet arrival times per queue for the
+bandwidth runs (Figure 8), with "a multi-ms inter-burst delay after the
+first 4000 frames" producing the zig-zag delay profile of Figure 9.
+
+Generators here produce NumPy arrays of absolute arrival times in
+microseconds — vectorized, deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cbr_arrivals",
+    "burst_arrivals",
+    "poisson_arrivals",
+    "backlogged_arrivals",
+]
+
+
+def cbr_arrivals(
+    n: int, rate_pps: float, *, start_us: float = 0.0
+) -> np.ndarray:
+    """Constant-bit-rate arrivals: ``n`` frames at ``rate_pps``."""
+    if n < 0:
+        raise ValueError("frame count must be non-negative")
+    if rate_pps <= 0:
+        raise ValueError("rate must be positive")
+    return start_us + np.arange(n, dtype=np.float64) * (1e6 / rate_pps)
+
+
+def burst_arrivals(
+    n: int,
+    *,
+    burst_size: int,
+    intra_rate_pps: float,
+    inter_burst_gap_us: float,
+    start_us: float = 0.0,
+) -> np.ndarray:
+    """Bursty arrivals: back-to-back bursts separated by long gaps.
+
+    Frames arrive at ``intra_rate_pps`` within a burst of
+    ``burst_size`` frames; each burst is followed by an
+    ``inter_burst_gap_us`` pause (the paper's generator: multi-ms
+    inter-burst delay after each 4000-frame burst).
+    """
+    if burst_size <= 0:
+        raise ValueError("burst size must be positive")
+    if inter_burst_gap_us < 0:
+        raise ValueError("gap must be non-negative")
+    base = cbr_arrivals(n, intra_rate_pps, start_us=start_us)
+    burst_index = np.arange(n, dtype=np.float64) // burst_size
+    return base + burst_index * inter_burst_gap_us
+
+
+def poisson_arrivals(
+    n: int,
+    rate_pps: float,
+    *,
+    rng: np.random.Generator | int | None = None,
+    start_us: float = 0.0,
+) -> np.ndarray:
+    """Poisson arrivals at mean ``rate_pps`` (exponential gaps)."""
+    if rate_pps <= 0:
+        raise ValueError("rate must be positive")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    gaps = rng.exponential(1e6 / rate_pps, size=n)
+    return start_us + np.cumsum(gaps)
+
+
+def backlogged_arrivals(n: int, *, start_us: float = 0.0) -> np.ndarray:
+    """All frames queued up-front (fully backlogged source).
+
+    Models the paper's bandwidth runs where all 64000 arrival times per
+    queue are deposited before the clock starts ("We start the clock
+    after 64000 packets from each stream are queued", Section 5.2).
+    """
+    if n < 0:
+        raise ValueError("frame count must be non-negative")
+    return np.full(n, start_us, dtype=np.float64)

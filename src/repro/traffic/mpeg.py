@@ -1,0 +1,87 @@
+"""MPEG-like media stream workload generation.
+
+The paper's framework discussion (Section 1, Figure 1) contrasts
+"scheduling and serving MPEG frames (with larger granularity and
+larger packet-times than 1500-byte or 64-byte Ethernet frames)" with
+wire-speed Ethernet scheduling, and the endsystem realization targets
+"multimedia streaming rates of tens of frames every second".
+
+:func:`mpeg_frame_sizes` produces a deterministic group-of-pictures
+(GoP) frame-size sequence — large I frames, medium P frames, small B
+frames with bounded jitter — and :func:`mpeg_stream` couples it with a
+frames-per-second arrival process, giving realistic media workloads for
+the endsystem examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GoPPattern", "mpeg_frame_sizes", "mpeg_stream"]
+
+
+@dataclass(frozen=True, slots=True)
+class GoPPattern:
+    """A group-of-pictures structure and nominal frame sizes (bytes)."""
+
+    structure: str = "IBBPBBPBBPBB"
+    i_bytes: int = 60_000
+    p_bytes: int = 25_000
+    b_bytes: int = 10_000
+    jitter: float = 0.15  # relative size jitter per frame
+
+    def __post_init__(self) -> None:
+        if not self.structure or set(self.structure) - set("IPB"):
+            raise ValueError("GoP structure must be a non-empty string of I/P/B")
+        if min(self.i_bytes, self.p_bytes, self.b_bytes) <= 0:
+            raise ValueError("frame sizes must be positive")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def nominal(self, kind: str) -> int:
+        """Nominal size of one frame type."""
+        return {"I": self.i_bytes, "P": self.p_bytes, "B": self.b_bytes}[kind]
+
+
+def mpeg_frame_sizes(
+    n_frames: int,
+    pattern: GoPPattern | None = None,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Frame sizes (bytes) for ``n_frames`` following the GoP pattern."""
+    if n_frames < 0:
+        raise ValueError("frame count must be non-negative")
+    pattern = pattern or GoPPattern()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    kinds = [pattern.structure[i % len(pattern.structure)] for i in range(n_frames)]
+    nominal = np.array([pattern.nominal(k) for k in kinds], dtype=np.float64)
+    if pattern.jitter:
+        nominal *= rng.uniform(1 - pattern.jitter, 1 + pattern.jitter, n_frames)
+    return np.maximum(1, nominal).astype(np.int64)
+
+
+def mpeg_stream(
+    n_frames: int,
+    *,
+    fps: float = 30.0,
+    pattern: GoPPattern | None = None,
+    start_us: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(arrival_times_us, frame_sizes_bytes) for one media stream.
+
+    Frames arrive at a constant ``fps`` cadence (the decoder clock);
+    sizes follow the GoP pattern.  The paper's framework point: at tens
+    of frames per second the *required scheduling rate* is tiny even
+    though per-frame bytes are large — the opposite corner of the
+    Figure 1 space from 64-byte wire-speed frames.
+    """
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    arrivals = start_us + np.arange(n_frames, dtype=np.float64) * (1e6 / fps)
+    sizes = mpeg_frame_sizes(n_frames, pattern, rng=rng)
+    return arrivals, sizes

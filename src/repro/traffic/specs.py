@@ -1,0 +1,129 @@
+"""Workload stream specifications for the endsystem experiments.
+
+An :class:`EndsystemStreamSpec` bundles what the paper's Queue Manager
+keeps in its per-stream descriptors: the QoS constraint (a bandwidth
+share realized as a DWCS request period, or explicit window
+constraints), the frame length, and the arrival process feeding the
+queue.  Helper constructors build the exact workloads of Figures 8-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.attributes import SchedulingMode
+from repro.traffic.generators import backlogged_arrivals
+
+__all__ = ["EndsystemStreamSpec", "ratio_workload"]
+
+
+@dataclass(slots=True)
+class EndsystemStreamSpec:
+    """One stream's workload + QoS contract for the endsystem DES.
+
+    Attributes
+    ----------
+    sid:
+        Stream / slot identifier.
+    share:
+        Relative bandwidth share (the 1:1:2:4 of Figures 8 and 10).
+        Realized as an inversely-proportional DWCS request period.
+    frame_bytes:
+        Frame length (the runs use 1500-byte Ethernet frames).
+    arrivals_us:
+        Absolute arrival times of the frames (NumPy array).
+    mode:
+        Scheduling mode for the slot; fair-share by default.
+    loss_numerator, loss_denominator:
+        Window constraint for DWCS/fair-share slots.
+    """
+
+    sid: int
+    share: float = 1.0
+    frame_bytes: int = 1500
+    arrivals_us: np.ndarray = field(
+        default_factory=lambda: backlogged_arrivals(0)
+    )
+    mode: SchedulingMode = SchedulingMode.FAIR_SHARE
+    loss_numerator: int = 1
+    loss_denominator: int = 2
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise ValueError("share must be positive")
+        if self.frame_bytes <= 0:
+            raise ValueError("frame_bytes must be positive")
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames in the workload."""
+        return len(self.arrivals_us)
+
+
+def ratio_workload(
+    ratios: tuple[float, ...] = (1, 1, 2, 4),
+    *,
+    frames_per_stream: int = 64_000,
+    frame_bytes: int = 1500,
+    arrivals_factory=backlogged_arrivals,
+) -> list[EndsystemStreamSpec]:
+    """Build the paper's ratio workload (default 1:1:2:4, 64000 frames).
+
+    ``arrivals_factory(n)`` produces each stream's arrival times;
+    the default is fully-backlogged sources (Figure 8's methodology).
+    """
+    specs = []
+    for sid, share in enumerate(ratios):
+        specs.append(
+            EndsystemStreamSpec(
+                sid=sid,
+                share=float(share),
+                frame_bytes=frame_bytes,
+                arrivals_us=np.asarray(
+                    arrivals_factory(frames_per_stream), dtype=np.float64
+                ),
+            )
+        )
+    return specs
+
+
+def periods_for_shares(
+    shares: list[float], *, granularity: int = 64
+) -> list[int]:
+    """Integer DWCS request periods realizing relative shares.
+
+    Service share of stream ``i`` under deadline-driven service is
+    proportional to ``1 / T_i``; this returns the smallest integer
+    periods (bounded by ``granularity``) whose reciprocals are in the
+    requested proportion.  E.g. shares (1, 1, 2, 4) -> periods
+    (8, 8, 4, 2).
+    """
+    if any(s <= 0 for s in shares):
+        raise ValueError("shares must be positive")
+    fractions = [Fraction(s).limit_denominator(granularity) for s in shares]
+    # T_i = lcm_numerator / share_i, scaled to integers.
+    scale = max(fractions)
+    periods = []
+    for frac in fractions:
+        period = scale / frac  # relative period, highest share -> 1
+        periods.append(period)
+    # Scale all periods to integers.
+    denom_lcm = 1
+    for p in periods:
+        denom_lcm = denom_lcm * p.denominator // _gcd(denom_lcm, p.denominator)
+    result = [int(p * denom_lcm) for p in periods]
+    if max(result) > 4096:
+        raise ValueError("share ratios too fine for integer periods")
+    return result
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+__all__.append("periods_for_shares")

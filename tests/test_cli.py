@@ -1,0 +1,73 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "figure8" in out and "comparison" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Window-constrained" in out
+        assert "witnesses" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "all substantive rules fired: True" in capsys.readouterr().out
+
+    def test_table3_reduced(self, capsys):
+        assert main(["table3", "--frames", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Max-finding missed" in out
+        assert "Total" in out
+
+    def test_figure6(self, capsys):
+        assert main(["figure6"]) == 0
+        assert "PRIORITY_UPDATE" in capsys.readouterr().out
+
+    def test_figure7(self, capsys):
+        assert main(["figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "clock MHz" in out
+        assert "32:10%" in out
+
+    def test_figure8_reduced(self, capsys):
+        assert main(["figure8", "--frames", "1000"]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_figure10_reduced(self, capsys):
+        assert main(["figure10", "--frames", "1000"]) == 0
+        assert "slot4/set2" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "realizable" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_verilog(self, capsys):
+        assert main(["verilog", "--slots", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "module sharestreams_scheduler" in out
+        assert "8 stream-slots" in out
+
+    def test_isolation_reduced(self, capsys):
+        assert main(["isolation", "--frames", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "ShareStreams" in out and "Teracross" in out
+
+    def test_ablation_extensions(self, capsys):
+        assert main(["ablation-extensions"]) == 0
+        assert "compute-ahead" in capsys.readouterr().out
+
+    def test_ablation_sort_reduced(self, capsys):
+        assert main(["ablation-sort", "--frames", "20"]) == 0
+        assert "bitonic" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Tests for stream attributes, configs and wire packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.attributes import (
+    ATTRIBUTE_WORD_BITS,
+    HardwareAttributes,
+    SchedulingMode,
+    StreamConfig,
+    pack_attributes,
+    unpack_attributes,
+)
+
+
+class TestSchedulingMode:
+    def test_update_modes(self):
+        assert SchedulingMode.DWCS.updates_priority
+        assert SchedulingMode.EDF.updates_priority
+        assert SchedulingMode.FAIR_SHARE.updates_priority
+
+    def test_bypass_modes(self):
+        assert not SchedulingMode.STATIC_PRIORITY.updates_priority
+        assert not SchedulingMode.SERVICE_TAG.updates_priority
+
+
+class TestStreamConfig:
+    def test_defaults(self):
+        cfg = StreamConfig(sid=3)
+        assert cfg.period == 1
+        assert cfg.window_constraint == 0.0
+        assert cfg.mode is SchedulingMode.DWCS
+
+    def test_window_constraint_ratio(self):
+        cfg = StreamConfig(sid=0, loss_numerator=1, loss_denominator=4)
+        assert cfg.window_constraint == 0.25
+
+    def test_rejects_bad_sid(self):
+        with pytest.raises(ValueError):
+            StreamConfig(sid=32)
+
+    def test_rejects_negative_period(self):
+        with pytest.raises(ValueError):
+            StreamConfig(sid=0, period=-1)
+
+    def test_rejects_numerator_above_denominator(self):
+        with pytest.raises(ValueError):
+            StreamConfig(sid=0, loss_numerator=3, loss_denominator=2)
+
+    def test_rejects_wide_deadline(self):
+        with pytest.raises(ValueError):
+            StreamConfig(sid=0, initial_deadline=1 << 16)
+
+
+class TestHardwareAttributes:
+    def test_from_config(self):
+        cfg = StreamConfig(
+            sid=5, loss_numerator=2, loss_denominator=8, initial_deadline=100
+        )
+        attrs = HardwareAttributes.from_config(cfg, arrival=7)
+        assert attrs.sid == 5
+        assert attrs.deadline == 100
+        assert attrs.loss_numerator == 2
+        assert attrs.loss_denominator == 8
+        assert attrs.arrival == 7
+        assert attrs.mode is SchedulingMode.DWCS
+
+    def test_copy_is_independent(self):
+        attrs = HardwareAttributes(sid=1, deadline=10)
+        clone = attrs.copy()
+        clone.deadline = 20
+        assert attrs.deadline == 10
+
+    def test_advance_deadline_wraps(self):
+        attrs = HardwareAttributes(sid=0, deadline=65535)
+        attrs.advance_deadline(2)
+        assert attrs.deadline == 1
+
+    def test_window_constraint_zero_denominator(self):
+        attrs = HardwareAttributes(sid=0, loss_numerator=0, loss_denominator=0)
+        assert attrs.window_constraint == 0.0
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(ValueError):
+            HardwareAttributes(sid=0, deadline=-1)
+
+    def test_allows_wide_deadline_for_ideal_mode(self):
+        # Ideal-arithmetic mode carries unbounded deadlines; width is
+        # enforced only at the wire boundary.
+        attrs = HardwareAttributes(sid=0, deadline=1 << 20)
+        assert attrs.deadline == 1 << 20
+
+
+class TestWirePacking:
+    def test_word_width(self):
+        # deadline(16) + x(8) + y(8) + arrival(16) + sid(5) + valid(1)
+        assert ATTRIBUTE_WORD_BITS == 54
+
+    def test_roundtrip_example(self):
+        attrs = HardwareAttributes(
+            sid=17,
+            deadline=0xBEEF,
+            loss_numerator=3,
+            loss_denominator=9,
+            arrival=0x1234,
+        )
+        word = pack_attributes(attrs)
+        back = unpack_attributes(word)
+        assert back == attrs
+
+    def test_pack_rejects_wide_deadline(self):
+        attrs = HardwareAttributes(sid=0, deadline=1 << 16)
+        with pytest.raises(ValueError):
+            pack_attributes(attrs)
+
+    def test_unpack_rejects_wide_word(self):
+        with pytest.raises(ValueError):
+            unpack_attributes(1 << ATTRIBUTE_WORD_BITS)
+
+    @given(
+        sid=st.integers(0, 31),
+        deadline=st.integers(0, (1 << 16) - 1),
+        x=st.integers(0, 255),
+        y=st.integers(0, 255),
+        arrival=st.integers(0, (1 << 16) - 1),
+        valid=st.booleans(),
+    )
+    def test_roundtrip_property(self, sid, deadline, x, y, arrival, valid):
+        attrs = HardwareAttributes(
+            sid=sid,
+            deadline=deadline,
+            loss_numerator=x,
+            loss_denominator=y,
+            arrival=arrival,
+            valid=valid,
+        )
+        assert unpack_attributes(pack_attributes(attrs)) == attrs

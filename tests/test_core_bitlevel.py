@@ -1,0 +1,86 @@
+"""Bit-true datapath vs golden object model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.attributes import HardwareAttributes, pack_attributes
+from repro.core.bitlevel import (
+    compare_packed,
+    decide_packed,
+    extract_fields,
+    serial_less_16,
+)
+from repro.core.fields import serial_lt
+from repro.core.rules import compare
+
+attr_strategy = st.builds(
+    lambda sid, deadline, x, y, arrival, valid: HardwareAttributes(
+        sid=sid,
+        deadline=deadline,
+        loss_numerator=x,
+        loss_denominator=y,
+        arrival=arrival,
+        valid=valid,
+    ),
+    sid=st.integers(0, 31),
+    deadline=st.integers(0, (1 << 16) - 1),
+    x=st.integers(0, 255),
+    y=st.integers(0, 255),
+    arrival=st.integers(0, (1 << 16) - 1),
+    valid=st.booleans(),
+)
+
+
+class TestFieldExtraction:
+    @given(attrs=attr_strategy)
+    def test_roundtrip_matches_object(self, attrs):
+        word = pack_attributes(attrs)
+        deadline, x, y, arrival, sid, valid = extract_fields(word)
+        assert deadline == attrs.deadline
+        assert x == attrs.loss_numerator
+        assert y == attrs.loss_denominator
+        assert arrival == attrs.arrival
+        assert sid == attrs.sid
+        assert valid == int(attrs.valid)
+
+    def test_rejects_wide_word(self):
+        with pytest.raises(ValueError):
+            extract_fields(1 << 54)
+
+
+class TestSerialLess16:
+    @given(a=st.integers(0, 65535), b=st.integers(0, 65535))
+    def test_matches_reference_serial(self, a, b):
+        assert serial_less_16(a, b) == serial_lt(a, b, 16)
+
+
+class TestPackedDecision:
+    @given(a=attr_strategy, b=attr_strategy)
+    def test_bit_identical_to_golden_model(self, a, b):
+        """RTL-vs-golden: every random pair decides identically."""
+        wa, wb = pack_attributes(a), pack_attributes(b)
+        for deadline_only in (False, True):
+            golden = compare(a, b, wrap=True, deadline_only=deadline_only)
+            packed = compare_packed(wa, wb, deadline_only=deadline_only)
+            assert golden == packed, (a, b, deadline_only)
+
+    @given(a=attr_strategy, b=attr_strategy)
+    def test_decide_ports(self, a, b):
+        wa, wb = pack_attributes(a), pack_attributes(b)
+        winner, loser = decide_packed(wa, wb)
+        assert {winner, loser} == {wa, wb}
+        if compare(a, b, wrap=True) < 0:
+            assert winner == wa
+        else:
+            assert winner == wb
+
+    def test_example_deadline_rule(self):
+        a = pack_attributes(HardwareAttributes(sid=0, deadline=10))
+        b = pack_attributes(HardwareAttributes(sid=1, deadline=20))
+        assert compare_packed(a, b) == -1
+
+    def test_example_wrapped_deadline(self):
+        a = pack_attributes(HardwareAttributes(sid=0, deadline=65530))
+        b = pack_attributes(HardwareAttributes(sid=1, deadline=2))
+        assert compare_packed(a, b) == -1

@@ -1,0 +1,49 @@
+"""Tests for the architecture configuration."""
+
+import pytest
+
+from repro.core.config import ArchConfig, BlockMode, Routing
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_accepts_power_of_two_slots(self, n):
+        assert ArchConfig(n_slots=n).n_slots == n
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 5, 12, 64])
+    def test_rejects_bad_slot_counts(self, n):
+        with pytest.raises(ValueError):
+            ArchConfig(n_slots=n)
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            ArchConfig(n_slots=4, schedule="mergesort")
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            ArchConfig(n_slots=4, clock_mhz=0)
+
+
+class TestDerivedProperties:
+    def test_winner_only(self):
+        assert ArchConfig(n_slots=4, routing=Routing.WR).winner_only
+        assert not ArchConfig(n_slots=4, routing=Routing.BA).winner_only
+
+    @pytest.mark.parametrize("n,passes", [(4, 2), (8, 3), (16, 4), (32, 5)])
+    def test_sort_passes_paper(self, n, passes):
+        assert ArchConfig(n_slots=n).sort_passes == passes
+
+    def test_sort_passes_bitonic(self):
+        cfg = ArchConfig(n_slots=8, schedule="bitonic")
+        assert cfg.sort_passes == 6
+
+    def test_bitonic_wr_uses_tournament_depth(self):
+        cfg = ArchConfig(n_slots=8, schedule="bitonic", routing=Routing.WR)
+        assert cfg.sort_passes == 3
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_decision_blocks_half(self, n):
+        assert ArchConfig(n_slots=n).decision_blocks == n // 2
+
+    def test_default_block_mode(self):
+        assert ArchConfig(n_slots=4).block_mode is BlockMode.MAX_FIRST

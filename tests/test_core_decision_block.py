@@ -1,0 +1,70 @@
+"""Tests for the single-cycle Decision block."""
+
+from repro.core.attributes import HardwareAttributes
+from repro.core.decision_block import DecisionBlock
+from repro.core.rules import Rule
+
+
+def attrs(sid=0, deadline=0, x=0, y=0, arrival=0, valid=True):
+    return HardwareAttributes(
+        sid=sid,
+        deadline=deadline,
+        loss_numerator=x,
+        loss_denominator=y,
+        arrival=arrival,
+        valid=valid,
+    )
+
+
+class TestDecide:
+    def test_winner_loser_ports(self):
+        block = DecisionBlock()
+        a, b = attrs(sid=0, deadline=9), attrs(sid=1, deadline=3)
+        result = block.decide(a, b)
+        assert result.winner is b
+        assert result.loser is a
+        assert result.rule is Rule.EARLIEST_DEADLINE
+
+    def test_decision_counter(self):
+        block = DecisionBlock()
+        for k in range(5):
+            block.decide(attrs(sid=0, deadline=k), attrs(sid=1, deadline=k + 1))
+        assert block.decisions == 5
+
+    def test_rule_counters(self):
+        block = DecisionBlock()
+        block.decide(attrs(sid=0, deadline=1), attrs(sid=1, deadline=2))
+        block.decide(attrs(sid=0, deadline=5, arrival=1), attrs(sid=1, deadline=5, arrival=2))
+        assert block.rule_counts[Rule.EARLIEST_DEADLINE] == 1
+        assert block.rule_counts[Rule.FCFS] == 1
+
+    def test_reset_counters(self):
+        block = DecisionBlock()
+        block.decide(attrs(sid=0), attrs(sid=1))
+        block.reset_counters()
+        assert block.decisions == 0
+        assert block.rule_counts == {}
+
+    def test_deadline_only_configuration(self):
+        block = DecisionBlock(deadline_only=True)
+        result = block.decide(
+            attrs(sid=0, deadline=5, x=0, y=9, arrival=9),
+            attrs(sid=1, deadline=5, x=1, y=2, arrival=1),
+        )
+        # Window fields ignored; FCFS resolves on arrival.
+        assert result.winner.sid == 1
+
+    def test_wrap_configuration(self):
+        wrapped = DecisionBlock(wrap=True)
+        ideal = DecisionBlock(wrap=False)
+        a, b = attrs(sid=0, deadline=65530), attrs(sid=1, deadline=2)
+        assert wrapped.decide(a, b).winner is a
+        assert ideal.decide(a, b).winner is b
+
+    def test_invalid_bundle_loses(self):
+        block = DecisionBlock()
+        result = block.decide(
+            attrs(sid=0, deadline=1, valid=False), attrs(sid=1, deadline=999)
+        )
+        assert result.winner.sid == 1
+        assert result.rule is Rule.VALIDITY

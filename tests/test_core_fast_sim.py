@@ -1,0 +1,93 @@
+"""Cross-validation: vectorized fast simulator vs the object model."""
+
+import numpy as np
+import pytest
+
+from repro.core.fast_sim import simulate_block_max_first, simulate_max_finding
+from repro.experiments.table3 import run_block, run_max_finding
+from repro.core.config import BlockMode
+
+SCALE = 500  # frames per stream for the reference runs
+
+
+class TestMaxFindingEquivalence:
+    def test_matches_object_model_counters(self):
+        reference = run_max_finding(SCALE)
+        fast = simulate_max_finding(4, 4 * SCALE)
+        assert fast.frames_scheduled == reference.frames_scheduled
+        for i, row in enumerate(reference.rows):
+            assert fast.wins[i] == row.winner_cycles
+            assert fast.misses[i] == row.missed_deadlines
+
+    def test_full_paper_scale_shape(self):
+        fast = simulate_max_finding(4, 64_000)
+        assert fast.frames_scheduled == 64_000
+        assert all(63_980 <= m <= 64_000 for m in fast.misses)
+        assert all(15_990 <= w <= 16_010 for w in fast.wins)
+
+    def test_offsets_validation(self):
+        with pytest.raises(ValueError):
+            simulate_max_finding(4, 10, initial_offsets=np.array([1, 2]))
+
+
+class TestBlockMaxFirstEquivalence:
+    def test_matches_object_model_counters(self):
+        reference = run_block(BlockMode.MAX_FIRST, SCALE)
+        fast = simulate_block_max_first(4, SCALE)
+        assert fast.frames_scheduled == reference.frames_scheduled
+        for i, row in enumerate(reference.rows):
+            assert fast.wins[i] == row.winner_cycles
+            assert fast.misses[i] == row.missed_deadlines == 0
+
+    def test_full_paper_scale(self):
+        fast = simulate_block_max_first(4, 16_000)
+        assert int(fast.misses.sum()) == 0
+        assert all(3_990 <= w <= 4_010 for w in fast.wins)
+        assert fast.frames_scheduled == 64_000
+
+
+class TestSpeedup:
+    def test_fast_path_is_meaningfully_faster(self):
+        import time
+
+        t0 = time.perf_counter()
+        run_max_finding(SCALE)
+        reference_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        simulate_max_finding(4, 4 * SCALE)
+        fast_s = time.perf_counter() - t0
+        assert fast_s < reference_s
+
+
+class TestOffsetRobustness:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        offsets=st.lists(
+            st.integers(0, 40), min_size=4, max_size=4, unique=True
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_max_finding_balance_any_offsets(self, offsets):
+        """Table 3's even win split is not an artifact of the 1,2,3,4
+        initial deadlines: any distinct offsets rotate fairly."""
+        fast = simulate_max_finding(
+            4, 2000, initial_offsets=np.array(offsets)
+        )
+        assert fast.frames_scheduled == 2000
+        assert all(abs(w - 500) <= max(offsets) + 4 for w in fast.wins)
+
+    @given(
+        offsets=st.lists(
+            st.integers(1, 40), min_size=4, max_size=4, unique=True
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_block_zero_misses_any_offsets(self, offsets):
+        """Block max-first meets every deadline for any positive
+        initial offsets (deadline >= cycle index by construction)."""
+        fast = simulate_block_max_first(
+            4, 2000, initial_offsets=np.array(offsets)
+        )
+        assert int(fast.misses.sum()) == 0

@@ -1,0 +1,111 @@
+"""Unit and property tests for wrap-aware serial arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fields import (
+    DEADLINE_BITS,
+    DEADLINE_FIELD,
+    FieldSpec,
+    serial_add,
+    serial_cmp,
+    serial_distance,
+    serial_gt,
+    serial_le,
+    serial_lt,
+    wrap,
+)
+
+u16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+small_delta = st.integers(min_value=-(1 << 14), max_value=(1 << 14))
+
+
+class TestFieldSpec:
+    def test_modulus_and_mask(self):
+        spec = FieldSpec("x", 8)
+        assert spec.modulus == 256
+        assert spec.mask == 255
+        assert spec.half == 128
+
+    def test_check_accepts_in_range(self):
+        assert DEADLINE_FIELD.check(0) == 0
+        assert DEADLINE_FIELD.check(65535) == 65535
+
+    @pytest.mark.parametrize("value", [-1, 65536, 1 << 20])
+    def test_check_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            DEADLINE_FIELD.check(value)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap(1234) == 1234
+
+    def test_wraps_past_modulus(self):
+        assert wrap(65536) == 0
+        assert wrap(65537) == 1
+
+    def test_custom_width(self):
+        assert wrap(256, bits=8) == 0
+
+
+class TestSerialCmp:
+    def test_equal(self):
+        assert serial_cmp(5, 5) == 0
+
+    def test_simple_ordering(self):
+        assert serial_cmp(3, 7) == -1
+        assert serial_cmp(7, 3) == 1
+
+    def test_wraparound_ordering(self):
+        # 65530 precedes 2 across the wrap boundary.
+        assert serial_cmp(65530, 2) == -1
+        assert serial_cmp(2, 65530) == 1
+
+    def test_relational_helpers(self):
+        assert serial_lt(1, 2)
+        assert serial_le(2, 2)
+        assert serial_gt(2, 1)
+        assert not serial_lt(2, 2)
+
+    @given(a=u16, delta=st.integers(min_value=1, max_value=(1 << 15) - 1))
+    def test_advanced_value_always_follows(self, a, delta):
+        b = serial_add(a, delta)
+        assert serial_lt(a, b)
+        assert serial_gt(b, a)
+
+    @given(a=u16, b=u16)
+    def test_antisymmetry(self, a, b):
+        assert serial_cmp(a, b) == -serial_cmp(b, a)
+
+
+class TestSerialAdd:
+    def test_plain(self):
+        assert serial_add(10, 5) == 15
+
+    def test_wraps(self):
+        assert serial_add(65535, 1) == 0
+
+    @given(a=u16, d1=small_delta, d2=small_delta)
+    def test_associative_with_distance(self, a, d1, d2):
+        b = serial_add(serial_add(a, d1 % (1 << DEADLINE_BITS)), d2 % (1 << 16))
+        assert 0 <= b < (1 << 16)
+
+
+class TestSerialDistance:
+    @given(a=u16, b=u16)
+    def test_roundtrip(self, a, b):
+        d = serial_distance(a, b)
+        assert serial_add(b, d % (1 << 16)) == a
+
+    @given(a=u16, b=u16)
+    def test_range(self, a, b):
+        d = serial_distance(a, b)
+        assert -(1 << 15) <= d < (1 << 15)
+
+    @given(a=u16, delta=st.integers(min_value=0, max_value=(1 << 15) - 1))
+    def test_matches_cmp_sign(self, a, delta):
+        b = serial_add(a, delta)
+        d = serial_distance(b, a)
+        assert d == delta

@@ -1,0 +1,73 @@
+"""Structural tests for the generated Verilog skeleton."""
+
+import re
+
+import pytest
+
+from repro.core.config import ArchConfig, Routing
+from repro.core.hdl import emit_decision_block, emit_top, emit_verilog
+from repro.core.shuffle import perfect_shuffle
+
+
+class TestDecisionBlockModule:
+    def test_bundle_width(self):
+        text = emit_decision_block()
+        assert "input  wire [53:0] a_bundle" in text
+        assert "output wire [53:0] winner" in text
+
+    def test_field_slices_match_layout(self):
+        text = emit_decision_block()
+        assert "a_bundle[53:38]" in text  # deadline
+        assert "a_bundle[37:30]" in text  # x
+        assert "a_bundle[29:22]" in text  # y
+        assert "a_bundle[21:6]" in text  # arrival
+        assert "a_bundle[5:1]" in text  # sid
+        assert "a_bundle[0]" in text  # valid
+
+    def test_serial_comparison_present(self):
+        text = emit_decision_block()
+        assert "16'h8000" in text  # MSB test of the wrapped difference
+
+    def test_deadline_only_drops_multipliers(self):
+        full = emit_decision_block(deadline_only=False)
+        simple = emit_decision_block(deadline_only=True)
+        assert "prod_a" in full
+        assert "prod_a" not in simple
+
+
+class TestShuffleWiring:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_instance_count_is_half_n(self, n):
+        text = emit_verilog(ArchConfig(n_slots=n))
+        assert len(re.findall(r"decision_block u_decide_\d+", text)) == n // 2
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_wiring_is_the_perfect_shuffle(self, n):
+        text = emit_verilog(ArchConfig(n_slots=n))
+        expected = perfect_shuffle(list(range(n)))
+        for i, src in enumerate(expected):
+            assert f"assign shuffled[{i}] = slots_in[{src}];" in text
+
+
+class TestTopModule:
+    def test_fsm_states_present(self):
+        text = emit_top(ArchConfig(n_slots=4))
+        for state in ("S_LOAD", "S_SCHEDULE", "S_PRIORITY_UPDATE"):
+            assert state in text
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (8, 3), (16, 4), (32, 5)])
+    def test_pass_count_matches_log2n(self, n, k):
+        text = emit_top(ArchConfig(n_slots=n))
+        assert f"pass_count == 3'd{k - 1}" in text
+
+    def test_header_mentions_routing(self):
+        text = emit_verilog(ArchConfig(n_slots=8, routing=Routing.WR))
+        assert "routing=WR" in text
+
+    def test_deterministic(self):
+        cfg = ArchConfig(n_slots=16)
+        assert emit_verilog(cfg) == emit_verilog(cfg)
+
+    def test_balanced_module_blocks(self):
+        text = emit_verilog(ArchConfig(n_slots=4))
+        assert text.count("module ") == text.count("endmodule")

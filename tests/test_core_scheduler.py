@@ -1,0 +1,170 @@
+"""Tests for the composed ShareStreams scheduler."""
+
+import pytest
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, BlockMode, Routing
+from repro.core.scheduler import ShareStreamsScheduler
+
+
+def edf_scheduler(n_slots=4, routing=Routing.BA, block_mode=BlockMode.MAX_FIRST):
+    arch = ArchConfig(
+        n_slots=n_slots, routing=routing, block_mode=block_mode, wrap=False
+    )
+    streams = [
+        StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+        for i in range(n_slots)
+    ]
+    return ShareStreamsScheduler(arch, streams)
+
+
+class TestSlotManagement:
+    def test_load_stream_binds_slot(self):
+        s = edf_scheduler()
+        assert len(s.active_slots) == 4
+        assert s.slot(2).config.sid == 2
+
+    def test_rejects_duplicate_slot(self):
+        s = edf_scheduler()
+        with pytest.raises(ValueError):
+            s.load_stream(StreamConfig(sid=0))
+
+    def test_rejects_out_of_range_sid(self):
+        arch = ArchConfig(n_slots=4)
+        s = ShareStreamsScheduler(arch)
+        with pytest.raises(ValueError):
+            s.load_stream(StreamConfig(sid=7))
+
+    def test_missing_slot_raises(self):
+        s = ShareStreamsScheduler(ArchConfig(n_slots=4))
+        with pytest.raises(KeyError):
+            s.slot(1)
+
+    def test_partial_population(self):
+        arch = ArchConfig(n_slots=8, wrap=False)
+        s = ShareStreamsScheduler(
+            arch, [StreamConfig(sid=3, mode=SchedulingMode.EDF)]
+        )
+        s.enqueue(3, deadline=5, arrival=0)
+        outcome = s.decision_cycle(0)
+        assert outcome.winner_sid == 3
+        assert outcome.block == (3,)
+
+
+class TestDecisionCycle:
+    def test_edf_winner(self):
+        s = edf_scheduler(routing=Routing.WR)
+        deadlines = [9, 2, 7, 5]
+        for sid, d in enumerate(deadlines):
+            s.enqueue(sid, deadline=d, arrival=0)
+        outcome = s.decision_cycle(0)
+        assert outcome.winner_sid == 1
+        assert outcome.circulated_sid == 1
+
+    def test_all_idle_returns_empty(self):
+        s = edf_scheduler()
+        outcome = s.decision_cycle(0)
+        assert outcome.block == ()
+        assert outcome.circulated_sid is None
+        assert outcome.serviced == ()
+
+    def test_consume_winner_pops_one(self):
+        s = edf_scheduler(routing=Routing.WR)
+        for sid in range(4):
+            s.enqueue(sid, deadline=sid + 1, arrival=0)
+        outcome = s.decision_cycle(0, consume="winner")
+        assert len(outcome.serviced) == 1
+        assert outcome.serviced[0][0] == 0
+
+    def test_consume_block_pops_all(self):
+        s = edf_scheduler(routing=Routing.BA)
+        for sid in range(4):
+            s.enqueue(sid, deadline=sid + 1, arrival=0)
+        outcome = s.decision_cycle(0, consume="block")
+        assert len(outcome.serviced) == 4
+
+    def test_consume_none_preserves_state(self):
+        s = edf_scheduler()
+        s.enqueue(0, deadline=1, arrival=0)
+        s.decision_cycle(0, consume="none")
+        assert s.slot(0).head is not None
+
+    def test_block_consume_requires_ba(self):
+        s = edf_scheduler(routing=Routing.WR)
+        s.enqueue(0, deadline=1, arrival=0)
+        with pytest.raises(ValueError):
+            s.decision_cycle(0, consume="block")
+
+    def test_unknown_consume_rejected(self):
+        s = edf_scheduler()
+        with pytest.raises(ValueError):
+            s.decision_cycle(0, consume="everything")
+
+    def test_hw_cycles_accounting(self):
+        s = edf_scheduler()
+        s.enqueue(0, deadline=1, arrival=0)
+        outcome = s.decision_cycle(0)
+        assert outcome.hw_cycles == 2 + 1  # log2(4) passes + update
+        assert s.cycles_per_decision == 3
+
+
+class TestBlockModes:
+    def test_max_first_circulates_head(self):
+        s = edf_scheduler(block_mode=BlockMode.MAX_FIRST)
+        for sid in range(4):
+            s.enqueue(sid, deadline=sid + 1, arrival=0)
+        outcome = s.decision_cycle(0, consume="none")
+        assert outcome.circulated_sid == outcome.block[0]
+
+    def test_min_first_circulates_tail(self):
+        s = edf_scheduler(block_mode=BlockMode.MIN_FIRST)
+        for sid in range(4):
+            s.enqueue(sid, deadline=sid + 1, arrival=0)
+        outcome = s.decision_cycle(0, consume="none")
+        assert outcome.circulated_sid == outcome.block[-1]
+
+    def test_min_first_consumes_reversed(self):
+        s = edf_scheduler(block_mode=BlockMode.MIN_FIRST)
+        for sid in range(4):
+            s.enqueue(sid, deadline=sid + 1, arrival=0)
+        outcome = s.decision_cycle(0, consume="block")
+        sids = [sid for sid, _ in outcome.serviced]
+        assert sids == list(reversed(list(outcome.block)))
+
+    def test_max_first_rotates_winners(self):
+        # EDF winner bias rotates service among contending streams.
+        s = edf_scheduler(block_mode=BlockMode.MAX_FIRST)
+        for c in range(200):
+            for sid in range(4):
+                s.enqueue(sid, deadline=(sid + 1) + c, arrival=c)
+            s.decision_cycle(c, consume="block", count_misses=False)
+        wins = [s.slot(i).counters.wins for i in range(4)]
+        assert sum(wins) == 200
+        assert all(40 <= w <= 60 for w in wins), wins
+
+
+class TestMissCounting:
+    def test_misses_reported_and_counted(self):
+        s = edf_scheduler(routing=Routing.WR)
+        s.enqueue(0, deadline=1, arrival=0)
+        s.enqueue(1, deadline=50, arrival=0)
+        outcome = s.decision_cycle(10, consume="none")
+        assert outcome.misses == (0,)
+        assert s.slot(0).counters.missed_deadlines == 1
+
+    def test_count_misses_off(self):
+        s = edf_scheduler()
+        s.enqueue(0, deadline=1, arrival=0)
+        outcome = s.decision_cycle(10, consume="none", count_misses=False)
+        assert outcome.misses == ()
+        assert s.slot(0).counters.missed_deadlines == 0
+
+
+class TestCounters:
+    def test_counters_keyed_by_sid(self):
+        s = edf_scheduler()
+        s.enqueue(2, deadline=1, arrival=0)
+        s.decision_cycle(0)
+        counters = s.counters()
+        assert set(counters) == {0, 1, 2, 3}
+        assert counters[2].wins == 1

@@ -1,0 +1,149 @@
+"""Tests for the fair-queuing service-tag hardware mapping."""
+
+import pytest
+
+from repro.core.tag_mapping import ServiceTagFrontend
+from repro.disciplines import SFQ, WFQ, Packet, SwStream
+
+
+def mirrored(flavor: str, weights, wrap=False):
+    hw = ServiceTagFrontend(4, flavor=flavor, quantum=1.0, wrap=wrap)
+    sw = SFQ() if flavor == "sfq" else WFQ()
+    for sid, w in enumerate(weights):
+        hw.add_stream(sid, w)
+        sw.add_stream(SwStream(stream_id=sid, weight=w))
+    return hw, sw
+
+
+class TestConstruction:
+    def test_rejects_unknown_flavor(self):
+        with pytest.raises(ValueError):
+            ServiceTagFrontend(4, flavor="gps")
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            ServiceTagFrontend(4, quantum=0)
+
+    def test_rejects_duplicate_stream(self):
+        fe = ServiceTagFrontend(4)
+        fe.add_stream(0)
+        with pytest.raises(ValueError):
+            fe.add_stream(0)
+
+    def test_rejects_bad_weight(self):
+        fe = ServiceTagFrontend(4)
+        with pytest.raises(ValueError):
+            fe.add_stream(0, weight=0)
+
+    def test_no_priority_update_cycle(self):
+        # Service-tag mapping uses LOAD + SCHEDULE only (Section 4.3):
+        # log2(4) = 2 sort passes + the 1-cycle circulation.
+        fe = ServiceTagFrontend(4)
+        assert fe.hw_cycles_per_decision == 3
+        fe.add_stream(0)
+        fe.enqueue(0)
+        outcome = fe.dequeue()
+        # The slot's window attributes never changed (update bypassed).
+        slot = fe.scheduler.slot(0)
+        assert slot.attributes.loss_numerator == 0
+        assert slot.attributes.loss_denominator == 0
+        assert outcome.circulated_sid == 0
+
+
+class TestTagOrdering:
+    def test_sfq_matches_software_order(self):
+        hw, sw = mirrored("sfq", [1.0, 1.0, 2.0, 4.0])
+        seq = 0
+        for _ in range(50):
+            for sid in range(4):
+                hw.enqueue(sid, length=1500)
+                sw.enqueue(
+                    Packet(stream_id=sid, seq=seq, arrival=0.0, length=1500)
+                )
+                seq += 1
+        hw_order = [hw.dequeue().circulated_sid for _ in range(120)]
+        sw_order = [sw.dequeue(0.0).stream_id for _ in range(120)]
+        assert hw_order == sw_order
+
+    def test_wfq_shares(self):
+        hw, _ = mirrored("wfq", [1.0, 3.0])
+        for _ in range(200):
+            hw.enqueue(0)
+            hw.enqueue(1)
+        counts = {0: 0, 1: 0}
+        for _ in range(200):
+            counts[hw.dequeue().circulated_sid] += 1
+        assert counts[1] == pytest.approx(150, abs=3)
+
+    def test_sfq_with_16bit_wrap(self):
+        # Wrapped serial tags keep ordering as long as the spread stays
+        # within the horizon.
+        hw = ServiceTagFrontend(2, flavor="sfq", quantum=1500.0, wrap=True)
+        hw.add_stream(0, 1.0)
+        hw.add_stream(1, 1.0)
+        served = []
+        for round_ in range(300):
+            hw.enqueue(0)
+            hw.enqueue(1)
+            served.append(hw.dequeue().circulated_sid)
+            served.append(hw.dequeue().circulated_sid)
+        # Perfectly alternating service at equal weights.
+        assert served.count(0) == served.count(1) == 300
+
+    def test_overflow_guard(self):
+        hw = ServiceTagFrontend(2, flavor="wfq", quantum=0.001, wrap=True)
+        hw.add_stream(0, 1.0)
+        with pytest.raises(OverflowError):
+            for _ in range(200):
+                hw.enqueue(0, length=1500)
+
+    def test_empty_dequeue(self):
+        hw = ServiceTagFrontend(2)
+        hw.add_stream(0)
+        outcome = hw.dequeue()
+        assert outcome.circulated_sid is None
+
+    def test_virtual_time_advances(self):
+        hw, _ = mirrored("sfq", [1.0, 1.0])
+        for _ in range(4):
+            hw.enqueue(0)
+            hw.enqueue(1)
+        v0 = hw.virtual_time
+        for _ in range(6):
+            hw.dequeue()
+        assert hw.virtual_time > v0
+
+
+class TestRandomizedAgreement:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.25, max_value=8.0), min_size=2, max_size=4
+        ),
+        pattern=st.lists(st.integers(0, 3), min_size=4, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sfq_agreement_random_weights(self, weights, pattern):
+        """Hardware tag mapping == software SFQ for arbitrary weights
+        and arrival interleavings."""
+        n = len(weights)
+        hw = ServiceTagFrontend(4, flavor="sfq", quantum=1.0, wrap=False)
+        sw = SFQ()
+        for sid, w in enumerate(weights):
+            hw.add_stream(sid, w)
+            sw.add_stream(SwStream(stream_id=sid, weight=w))
+        count = 0
+        for k, pick in enumerate(pattern):
+            sid = pick % n
+            hw.enqueue(sid, length=1000)
+            # Arrival = enqueue order, matching the frontend's internal
+            # arrival sequence (Table 2's FCFS tie-break input).
+            sw.enqueue(
+                Packet(stream_id=sid, seq=k, arrival=float(k), length=1000)
+            )
+            count += 1
+        hw_seq = [hw.dequeue().circulated_sid for _ in range(count)]
+        sw_seq = [sw.dequeue(0.0).stream_id for _ in range(count)]
+        assert hw_seq == sw_seq

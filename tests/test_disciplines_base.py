@@ -1,0 +1,151 @@
+"""Tests for the discipline interface and simple disciplines."""
+
+import pytest
+
+from repro.disciplines import (
+    DISCIPLINES,
+    EDF,
+    FCFS,
+    Packet,
+    StaticPriority,
+    SwStream,
+    create,
+    info_for,
+)
+
+
+class TestSwStream:
+    def test_defaults(self):
+        s = SwStream(stream_id=1)
+        assert s.weight == 1.0
+        assert s.period == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"weight": -1.0},
+            {"period": 0.0},
+            {"loss_numerator": -1},
+            {"loss_numerator": 3, "loss_denominator": 2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SwStream(stream_id=0, **kwargs)
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(DISCIPLINES) == {
+            "fcfs",
+            "static_priority",
+            "edf",
+            "dwcs",
+            "wfq",
+            "sfq",
+            "drr",
+            "hfs",
+        }
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(KeyError):
+            create("round_robin_2000")
+
+    def test_info_families(self):
+        assert info_for("fcfs").family == "priority-class"
+        assert info_for("wfq").family == "fair-queuing"
+        assert info_for("dwcs").family == "window-constrained"
+
+
+class TestFCFS:
+    def test_fifo_order_across_streams(self):
+        d = FCFS()
+        for sid in range(2):
+            d.add_stream(SwStream(stream_id=sid))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=0.0))
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=1.0))
+        assert d.dequeue(2.0).stream_id == 1
+        assert d.dequeue(2.0).stream_id == 0
+        assert d.dequeue(2.0) is None
+
+    def test_unknown_stream_rejected(self):
+        d = FCFS()
+        with pytest.raises(KeyError):
+            d.enqueue(Packet(stream_id=9, seq=0, arrival=0.0))
+
+    def test_backlog_accounting(self):
+        d = FCFS()
+        d.add_stream(SwStream(stream_id=0))
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0))
+        assert d.backlog == 1
+        d.dequeue(0.0)
+        assert d.backlog == 0
+
+    def test_duplicate_stream_rejected(self):
+        d = FCFS()
+        d.add_stream(SwStream(stream_id=0))
+        with pytest.raises(ValueError):
+            d.add_stream(SwStream(stream_id=0))
+
+
+class TestStaticPriority:
+    def test_strict_priority(self):
+        d = StaticPriority()
+        d.add_stream(SwStream(stream_id=0, priority=5))
+        d.add_stream(SwStream(stream_id=1, priority=1))
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=1.0))
+        assert d.dequeue(2.0).stream_id == 1
+
+    def test_fifo_within_class(self):
+        d = StaticPriority()
+        d.add_stream(SwStream(stream_id=0, priority=1))
+        first = Packet(stream_id=0, seq=0, arrival=0.0)
+        second = Packet(stream_id=0, seq=1, arrival=1.0)
+        d.enqueue(first)
+        d.enqueue(second)
+        assert d.dequeue(2.0) is first
+
+    def test_starvation_under_load(self):
+        # The paper's motivation: high-priority hogs starve the rest.
+        d = StaticPriority()
+        d.add_stream(SwStream(stream_id=0, priority=0))
+        d.add_stream(SwStream(stream_id=1, priority=1))
+        for k in range(10):
+            d.enqueue(Packet(stream_id=0, seq=k, arrival=float(k)))
+            d.enqueue(Packet(stream_id=1, seq=k, arrival=float(k)))
+        served = [d.dequeue(float(t)).stream_id for t in range(10)]
+        assert served == [0] * 10
+
+
+class TestEDF:
+    def test_earliest_deadline_first(self):
+        d = EDF()
+        for sid in range(3):
+            d.add_stream(SwStream(stream_id=sid))
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, deadline=9.0))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=0.0, deadline=2.0))
+        d.enqueue(Packet(stream_id=2, seq=0, arrival=0.0, deadline=5.0))
+        assert [d.dequeue(0.0).stream_id for _ in range(3)] == [1, 2, 0]
+
+    def test_requires_deadline(self):
+        d = EDF()
+        d.add_stream(SwStream(stream_id=0))
+        with pytest.raises(ValueError):
+            d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0))
+
+    def test_fcfs_among_equal_deadlines(self):
+        d = EDF()
+        d.add_stream(SwStream(stream_id=0))
+        d.add_stream(SwStream(stream_id=1))
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=5.0, deadline=9.0))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=1.0, deadline=9.0))
+        assert d.dequeue(6.0).stream_id == 1
+
+    def test_peek_deadline(self):
+        d = EDF()
+        d.add_stream(SwStream(stream_id=0))
+        assert d.peek_deadline() is None
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, deadline=4.0))
+        assert d.peek_deadline() == 4.0

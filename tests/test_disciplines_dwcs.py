@@ -1,0 +1,237 @@
+"""Tests for the reference software DWCS discipline."""
+
+import pytest
+
+from repro.disciplines import DWCS, Packet, SwStream
+from repro.disciplines.dwcs import WindowState
+
+
+def dwcs_with(streams, **kwargs) -> DWCS:
+    d = DWCS(**kwargs)
+    for s in streams:
+        d.add_stream(s)
+    return d
+
+
+class TestWindowState:
+    def test_initial_counters_copy_originals(self):
+        w = WindowState(x=2, y=5)
+        assert (w.x_cur, w.y_cur) == (2, 5)
+
+    def test_on_time_service(self):
+        w = WindowState(x=1, y=4)
+        w.on_time_service()
+        assert (w.x_cur, w.y_cur) == (1, 3)
+
+    def test_window_reset_after_full_window(self):
+        w = WindowState(x=1, y=3)
+        w.on_time_service()  # y' -> 2
+        w.on_time_service()  # y' -> 1 == x' -> reset
+        assert (w.x_cur, w.y_cur) == (1, 3)
+        assert w.resets == 1
+
+    def test_missed_deadline_consumes_loss(self):
+        w = WindowState(x=2, y=5)
+        w.missed_deadline()
+        assert (w.x_cur, w.y_cur) == (1, 4)
+        assert w.misses == 1
+
+    def test_violation_boosts_denominator(self):
+        w = WindowState(x=0, y=2)
+        w.missed_deadline()
+        assert w.violations == 1
+        assert w.y_cur == 3
+
+    def test_violation_saturates(self):
+        w = WindowState(x=0, y=2)
+        w.y_cur = 255
+        w.missed_deadline()
+        assert w.y_cur == 255
+
+    def test_constraint_ratio(self):
+        assert WindowState(x=1, y=4).constraint == 0.25
+        assert WindowState(x=0, y=0).constraint == 0.0
+
+
+class TestSelection:
+    def test_edf_dominates(self):
+        d = dwcs_with([SwStream(stream_id=i) for i in range(2)])
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, deadline=9.0))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=0.0, deadline=3.0))
+        assert d.select(0.0) == 1
+
+    def test_equal_deadline_lowest_constraint(self):
+        d = dwcs_with(
+            [
+                SwStream(stream_id=0, loss_numerator=1, loss_denominator=2),
+                SwStream(stream_id=1, loss_numerator=1, loss_denominator=4),
+            ]
+        )
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, deadline=5.0))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=0.0, deadline=5.0))
+        assert d.select(0.0) == 1  # 1/4 < 1/2
+
+    def test_zero_constraints_highest_denominator(self):
+        d = dwcs_with(
+            [
+                SwStream(stream_id=0, loss_numerator=0, loss_denominator=3),
+                SwStream(stream_id=1, loss_numerator=0, loss_denominator=9),
+            ]
+        )
+        for sid in (0, 1):
+            d.enqueue(Packet(stream_id=sid, seq=0, arrival=0.0, deadline=5.0))
+        assert d.select(0.0) == 1
+
+    def test_fcfs_fallback(self):
+        d = dwcs_with(
+            [
+                SwStream(stream_id=0, loss_numerator=1, loss_denominator=2),
+                SwStream(stream_id=1, loss_numerator=1, loss_denominator=2),
+            ]
+        )
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=7.0, deadline=5.0))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=2.0, deadline=5.0))
+        assert d.select(8.0) == 1
+
+    def test_empty_returns_none(self):
+        d = dwcs_with([SwStream(stream_id=0)])
+        assert d.select(0.0) is None
+        assert d.dequeue(0.0) is None
+
+    def test_requires_deadlines(self):
+        d = dwcs_with([SwStream(stream_id=0)])
+        with pytest.raises(ValueError):
+            d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0))
+
+
+class TestDequeueDynamics:
+    def test_winner_window_adjusts(self):
+        d = dwcs_with(
+            [SwStream(stream_id=0, loss_numerator=1, loss_denominator=4)]
+        )
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, deadline=9.0))
+        d.dequeue(0.0)
+        assert d.windows[0].y_cur == 3
+
+    def test_losers_with_late_heads_adjust(self):
+        d = dwcs_with(
+            [
+                SwStream(stream_id=0, loss_numerator=1, loss_denominator=4),
+                SwStream(stream_id=1, loss_numerator=2, loss_denominator=4),
+            ]
+        )
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, deadline=3.0))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=0.0, deadline=1.0))
+        # At t=5 both heads are late; stream 1 wins (earlier deadline),
+        # stream 0's head registers a miss.
+        winner = d.dequeue(5.0)
+        assert winner.stream_id == 1
+        assert d.windows[0].misses == 1
+
+    def test_drop_late_policy(self):
+        d = dwcs_with(
+            [
+                SwStream(stream_id=0, loss_numerator=1, loss_denominator=4),
+                SwStream(stream_id=1, loss_numerator=1, loss_denominator=4),
+            ],
+            drop_late=True,
+        )
+        d.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, deadline=1.0))
+        d.enqueue(Packet(stream_id=1, seq=0, arrival=0.0, deadline=0.5))
+        d.dequeue(5.0)  # stream 1 wins; stream 0's late head is dropped
+        assert len(d.dropped) == 1
+        assert d.dropped[0].stream_id == 0
+        assert d.backlog == 0
+
+    def test_fair_share_emerges_from_periods(self):
+        # Backlogged streams with periods 4,4,2,1 share 1:1:2:4.
+        periods = {0: 4, 1: 4, 2: 2, 3: 1}
+        d = dwcs_with(
+            [
+                SwStream(stream_id=i, period=periods[i], loss_numerator=1, loss_denominator=2)
+                for i in range(4)
+            ]
+        )
+        for sid, T in periods.items():
+            for k in range(1200):
+                d.enqueue(
+                    Packet(
+                        stream_id=sid,
+                        seq=k,
+                        arrival=0.0,
+                        deadline=float((k + 1) * T),
+                    )
+                )
+        counts = {i: 0 for i in range(4)}
+        for _ in range(800):
+            counts[d.dequeue(0.0).stream_id] += 1
+        assert counts[0] == pytest.approx(100, abs=3)
+        assert counts[1] == pytest.approx(100, abs=3)
+        assert counts[2] == pytest.approx(200, abs=4)
+        assert counts[3] == pytest.approx(400, abs=6)
+
+    def test_missed_deadlines_accessor(self):
+        d = dwcs_with([SwStream(stream_id=0, loss_numerator=1, loss_denominator=2)])
+        assert d.missed_deadlines(0) == 0
+
+
+class TestLossToleranceSemantics:
+    def test_low_tolerance_stream_served_more_under_overload(self):
+        """Two equally-loaded streams, one with tight loss tolerance:
+        under overload with droppable packets, DWCS serves the stream
+        that can afford fewer losses and sheds the tolerant one — the
+        whole point of window-constraints."""
+        d = DWCS(drop_late=True)
+        d.add_stream(
+            SwStream(stream_id=0, period=1, loss_numerator=1, loss_denominator=8)
+        )  # tight: 1 loss per 8
+        d.add_stream(
+            SwStream(stream_id=1, period=1, loss_numerator=6, loss_denominator=8)
+        )  # loose: 6 losses per 8
+        for k in range(600):
+            for sid in (0, 1):
+                d.enqueue(
+                    Packet(
+                        stream_id=sid,
+                        seq=k,
+                        arrival=float(k),
+                        deadline=float(k + 2),
+                    )
+                )
+        served = {0: 0, 1: 0}
+        t = 0
+        # 2x overload: one service per tick, two arrivals per tick.
+        while (packet := d.dequeue(float(t))) is not None:
+            served[packet.stream_id] += 1
+            t += 1
+        drops = {0: 0, 1: 0}
+        for packet in d.dropped:
+            drops[packet.stream_id] += 1
+        assert served[0] > 2 * served[1]
+        assert drops[1] > 2 * drops[0]
+
+    def test_violation_boost_recovers_starved_stream(self):
+        """A stream pushed into violation climbs back via rule 3."""
+        d = DWCS()
+        d.add_stream(
+            SwStream(stream_id=0, period=1, loss_numerator=0, loss_denominator=2)
+        )
+        d.add_stream(
+            SwStream(stream_id=1, period=1, loss_numerator=0, loss_denominator=2)
+        )
+        # Stream 0's packets carry later deadlines, so it keeps losing
+        # at first; each miss raises its denominator until it wins.
+        for k in range(40):
+            d.enqueue(
+                Packet(stream_id=0, seq=k, arrival=float(k), deadline=float(k + 5))
+            )
+            d.enqueue(
+                Packet(stream_id=1, seq=k, arrival=float(k), deadline=float(k + 1))
+            )
+        first_win_of_0 = None
+        for t in range(40):
+            p = d.dequeue(float(t))
+            if p.stream_id == 0 and first_win_of_0 is None:
+                first_win_of_0 = t
+        assert first_win_of_0 is not None
+        assert d.windows[0].violations >= 0  # bookkeeping sane

@@ -1,0 +1,150 @@
+"""Tests for WFQ, SFQ and DRR fair-queuing baselines."""
+
+import pytest
+
+from repro.disciplines import DRR, SFQ, WFQ, Packet, SwStream
+
+
+def backlog(discipline, weights, packets_per_stream=100, length=1500):
+    for sid, w in enumerate(weights):
+        discipline.add_stream(SwStream(stream_id=sid, weight=w))
+    for sid in range(len(weights)):
+        for k in range(packets_per_stream):
+            discipline.enqueue(
+                Packet(stream_id=sid, seq=k, arrival=0.0, length=length)
+            )
+    return discipline
+
+
+def serve(discipline, n):
+    counts: dict[int, int] = {}
+    for _ in range(n):
+        p = discipline.dequeue(0.0)
+        counts[p.stream_id] = counts.get(p.stream_id, 0) + 1
+    return counts
+
+
+class TestWFQ:
+    def test_proportional_shares(self):
+        wfq = backlog(WFQ(), [1, 1, 2, 4], packets_per_stream=300)
+        counts = serve(wfq, 400)
+        assert counts[0] == pytest.approx(50, abs=2)
+        assert counts[1] == pytest.approx(50, abs=2)
+        assert counts[2] == pytest.approx(100, abs=3)
+        assert counts[3] == pytest.approx(200, abs=4)
+
+    def test_tags_fixed_at_enqueue(self):
+        wfq = WFQ()
+        wfq.add_stream(SwStream(stream_id=0, weight=1.0))
+        p = Packet(stream_id=0, seq=0, arrival=0.0)
+        wfq.enqueue(p)
+        tag = p.tag
+        wfq.enqueue(Packet(stream_id=0, seq=1, arrival=1.0))
+        assert p.tag == tag
+
+    def test_finish_tags_increase_per_stream(self):
+        wfq = WFQ()
+        wfq.add_stream(SwStream(stream_id=0, weight=2.0))
+        tags = []
+        for k in range(4):
+            p = Packet(stream_id=0, seq=k, arrival=0.0, length=1000)
+            wfq.enqueue(p)
+            tags.append(p.tag)
+        assert tags == sorted(tags)
+        assert tags[1] - tags[0] == pytest.approx(500.0)
+
+    def test_empty_dequeue(self):
+        wfq = WFQ()
+        wfq.add_stream(SwStream(stream_id=0))
+        assert wfq.dequeue(0.0) is None
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(KeyError):
+            WFQ().enqueue(Packet(stream_id=0, seq=0, arrival=0.0))
+
+
+class TestSFQ:
+    def test_proportional_shares(self):
+        sfq = backlog(SFQ(), [1, 3], packets_per_stream=300)
+        counts = serve(sfq, 200)
+        assert counts[0] == pytest.approx(50, abs=3)
+        assert counts[1] == pytest.approx(150, abs=3)
+
+    def test_virtual_time_tracks_start_tags(self):
+        sfq = SFQ()
+        sfq.add_stream(SwStream(stream_id=0, weight=1.0))
+        for k in range(3):
+            sfq.enqueue(Packet(stream_id=0, seq=k, arrival=0.0, length=1000))
+        assert sfq.virtual_time == 0.0
+        sfq.dequeue(0.0)
+        sfq.dequeue(0.0)
+        assert sfq.virtual_time == pytest.approx(1000.0)
+
+    def test_newly_active_stream_not_starved(self):
+        # A stream joining late starts at current virtual time, not 0.
+        sfq = SFQ()
+        sfq.add_stream(SwStream(stream_id=0, weight=1.0))
+        sfq.add_stream(SwStream(stream_id=1, weight=1.0))
+        for k in range(50):
+            sfq.enqueue(Packet(stream_id=0, seq=k, arrival=0.0))
+        for _ in range(40):
+            sfq.dequeue(0.0)
+        sfq.enqueue(Packet(stream_id=1, seq=0, arrival=40.0))
+        # Stream 1 must be served within a couple of slots.
+        served = [sfq.dequeue(41.0).stream_id for _ in range(3)]
+        assert 1 in served
+
+
+class TestDRR:
+    def test_equal_weights_round_robin(self):
+        drr = backlog(DRR(), [1, 1], packets_per_stream=10)
+        counts = serve(drr, 10)
+        assert counts[0] == 5 and counts[1] == 5
+
+    def test_weighted_shares(self):
+        drr = backlog(DRR(), [1, 1, 2, 4], packets_per_stream=300)
+        counts = serve(drr, 400)
+        assert counts[0] == pytest.approx(50, abs=2)
+        assert counts[3] == pytest.approx(200, abs=4)
+
+    def test_byte_fairness_with_mixed_lengths(self):
+        # Equal weights, different packet sizes: bytes served stay fair.
+        drr = DRR(base_quantum=1500)
+        drr.add_stream(SwStream(stream_id=0, weight=1.0))
+        drr.add_stream(SwStream(stream_id=1, weight=1.0))
+        for k in range(300):
+            drr.enqueue(Packet(stream_id=0, seq=k, arrival=0.0, length=1500))
+            drr.enqueue(Packet(stream_id=1, seq=k, arrival=0.0, length=500))
+        bytes_served = {0: 0, 1: 0}
+        for _ in range(200):
+            p = drr.dequeue(0.0)
+            bytes_served[p.stream_id] += p.length
+        ratio = bytes_served[0] / bytes_served[1]
+        assert 0.8 <= ratio <= 1.25
+
+    def test_deficit_carries_over(self):
+        drr = DRR(base_quantum=1000)
+        drr.add_stream(SwStream(stream_id=0, weight=1.0))
+        drr.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, length=1500))
+        # Needs two quantum grants (1000 + 1000 >= 1500).
+        assert drr.dequeue(0.0) is not None
+
+    def test_small_weights_still_serve(self):
+        drr = DRR(base_quantum=1500)
+        drr.add_stream(SwStream(stream_id=0, weight=0.05))
+        drr.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, length=1500))
+        assert drr.dequeue(0.0) is not None
+
+    def test_empty_queue_resets_deficit(self):
+        drr = DRR()
+        drr.add_stream(SwStream(stream_id=0))
+        drr.enqueue(Packet(stream_id=0, seq=0, arrival=0.0, length=100))
+        drr.dequeue(0.0)
+        assert drr.dequeue(0.0) is None
+        # Re-arrival gets a fresh deficit, not stale credit.
+        drr.enqueue(Packet(stream_id=0, seq=1, arrival=1.0, length=100))
+        assert drr.dequeue(1.0) is not None
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            DRR(base_quantum=0)

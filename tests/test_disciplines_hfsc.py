@@ -1,0 +1,110 @@
+"""Tests for the hierarchical link-sharing baseline."""
+
+import pytest
+from collections import Counter
+
+from repro.disciplines import Packet, SwStream
+from repro.disciplines.hfsc import ClassNode, HierarchicalFairShare
+
+
+def build_tree():
+    h = HierarchicalFairShare()
+    h.add_class("realtime", weight=7.0)
+    h.add_class("besteffort", weight=3.0)
+    h.add_class("video", parent="realtime", weight=2.0)
+    h.add_class("audio", parent="realtime", weight=1.0)
+    h.bind_stream(SwStream(stream_id=0), "video")
+    h.bind_stream(SwStream(stream_id=1), "audio")
+    h.bind_stream(SwStream(stream_id=2), "besteffort")
+    return h
+
+
+def backlog(h, packets_per_stream=500, length=1500):
+    for k in range(packets_per_stream):
+        for sid in (0, 1, 2):
+            h.enqueue(Packet(stream_id=sid, seq=k, arrival=0.0, length=length))
+
+
+class TestTreeConstruction:
+    def test_duplicate_class_rejected(self):
+        h = HierarchicalFairShare()
+        h.add_class("a")
+        with pytest.raises(ValueError):
+            h.add_class("a")
+
+    def test_interior_class_cannot_bind(self):
+        h = build_tree()
+        with pytest.raises(ValueError):
+            h.bind_stream(SwStream(stream_id=9), "realtime")
+
+    def test_leaf_cannot_have_children(self):
+        h = build_tree()
+        with pytest.raises(ValueError):
+            h.add_class("sub", parent="video")
+
+    def test_double_bind_rejected(self):
+        h = build_tree()
+        with pytest.raises(ValueError):
+            h.bind_stream(SwStream(stream_id=9), "video")
+
+    def test_unbound_stream_rejected(self):
+        h = build_tree()
+        with pytest.raises(KeyError):
+            h.enqueue(Packet(stream_id=7, seq=0, arrival=0.0))
+
+    def test_bad_weight(self):
+        with pytest.raises(ValueError):
+            ClassNode(name="x", weight=0.0)
+
+
+class TestLinkSharing:
+    def test_top_level_70_30(self):
+        h = build_tree()
+        backlog(h)
+        served = Counter(h.dequeue(0.0).stream_id for _ in range(1000))
+        realtime = served[0] + served[1]
+        assert realtime == pytest.approx(700, abs=10)
+        assert served[2] == pytest.approx(300, abs=10)
+
+    def test_inner_level_2_to_1(self):
+        h = build_tree()
+        backlog(h)
+        served = Counter(h.dequeue(0.0).stream_id for _ in range(900))
+        assert served[0] / served[1] == pytest.approx(2.0, rel=0.05)
+
+    def test_work_conserving_when_class_idle(self):
+        # Only best-effort is backlogged: it gets the whole link.
+        h = build_tree()
+        for k in range(50):
+            h.enqueue(Packet(stream_id=2, seq=k, arrival=0.0))
+        served = Counter(h.dequeue(0.0).stream_id for _ in range(50))
+        assert served[2] == 50
+
+    def test_excess_redistributes_within_parent(self):
+        # Audio idle: video absorbs all of realtime's 70%.
+        h = build_tree()
+        for k in range(1000):
+            h.enqueue(Packet(stream_id=0, seq=k, arrival=0.0))
+            h.enqueue(Packet(stream_id=2, seq=k, arrival=0.0))
+        served = Counter(h.dequeue(0.0).stream_id for _ in range(1000))
+        assert served[0] == pytest.approx(700, abs=10)
+
+    def test_empty_dequeue(self):
+        h = build_tree()
+        assert h.dequeue(0.0) is None
+
+    def test_fifo_within_stream(self):
+        h = build_tree()
+        first = Packet(stream_id=0, seq=0, arrival=0.0)
+        second = Packet(stream_id=0, seq=1, arrival=1.0)
+        h.enqueue(first)
+        h.enqueue(second)
+        assert h.dequeue(2.0) is first
+        assert h.dequeue(2.0) is second
+
+    def test_registry_exposure(self):
+        from repro.disciplines import DISCIPLINES, create, info_for
+
+        assert "hfs" in DISCIPLINES
+        assert info_for("hfs").family == "fair-queuing"
+        assert create("hfs").name == "hfs"

@@ -1,0 +1,92 @@
+"""Property tests on the DWCS window-counter state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disciplines.dwcs import WindowState
+
+# (x, y) constraints with x <= y, plus an event script.
+constraints = st.tuples(st.integers(0, 6), st.integers(1, 8)).map(
+    lambda xy: (min(xy), max(xy))
+)
+events = st.lists(st.sampled_from(["win", "miss"]), max_size=300)
+
+
+def run_script(x: int, y: int, script) -> WindowState:
+    w = WindowState(x=x, y=y)
+    for event in script:
+        if event == "win":
+            w.on_time_service()
+        else:
+            w.missed_deadline()
+    return w
+
+
+class TestCounterInvariants:
+    @given(c=constraints, script=events)
+    @settings(max_examples=200)
+    def test_numerator_never_exceeds_original(self, c, script):
+        x, y = c
+        w = run_script(x, y, script)
+        assert 0 <= w.x_cur <= x
+
+    @given(c=constraints, script=events)
+    @settings(max_examples=200)
+    def test_denominator_bounds(self, c, script):
+        x, y = c
+        w = run_script(x, y, script)
+        # y' never exceeds the 8-bit saturation nor drops below zero.
+        assert 0 <= w.y_cur <= 255
+
+    @given(c=constraints, script=events)
+    @settings(max_examples=200)
+    def test_numerator_le_denominator_when_denominator_live(self, c, script):
+        x, y = c
+        w = run_script(x, y, script)
+        if w.y_cur > 0:
+            assert w.x_cur <= w.y_cur
+
+    @given(c=constraints, script=events)
+    @settings(max_examples=200)
+    def test_constraint_in_unit_interval(self, c, script):
+        x, y = c
+        w = run_script(x, y, script)
+        assert 0.0 <= w.constraint <= 1.0
+
+    @given(c=constraints)
+    def test_reset_restores_original(self, c):
+        x, y = c
+        w = WindowState(x=x, y=y)
+        w._reset()
+        assert (w.x_cur, w.y_cur) == (x, y)
+
+    @given(c=constraints, script=events)
+    @settings(max_examples=200)
+    def test_miss_counter_matches_script(self, c, script):
+        x, y = c
+        w = run_script(x, y, script)
+        assert w.misses == script.count("miss")
+
+    @given(c=constraints, script=events)
+    @settings(max_examples=200)
+    def test_violations_only_after_tolerance_exhausted(self, c, script):
+        x, y = c
+        w = run_script(x, y, script)
+        if x >= len([e for e in script if e == "miss"]):
+            # Never more misses than the original tolerance per window:
+            # with resets this cannot be violated in a single window,
+            # and with fewer total misses than x violations can't occur.
+            assert w.violations == 0
+
+    @given(c=constraints, script=events)
+    @settings(max_examples=200)
+    def test_winner_priority_monotonicity(self, c, script):
+        """An on-time service never *lowers* the current constraint
+        (the winner's priority never rises from being served)."""
+        x, y = c
+        w = run_script(x, y, script)
+        before = w.constraint
+        zero_before = w.zero
+        w.on_time_service()
+        if not zero_before:
+            assert w.constraint >= min(before, x / y) - 1e-12

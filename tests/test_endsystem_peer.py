@@ -1,0 +1,56 @@
+"""Tests for the peer-to-peer PCI transfer configuration."""
+
+import pytest
+
+from repro.endsystem import EndsystemConfig, EndsystemRouter
+from repro.endsystem.host import PEER_TRANSFER_COST_US
+from repro.sim.nic import TEN_GIGABIT
+from repro.traffic.specs import ratio_workload
+
+
+def run(cfg):
+    specs = ratio_workload((1, 1, 2, 4), frames_per_stream=600)
+    return EndsystemRouter(specs, cfg).run(preload=True)
+
+
+class TestTransferCostProperty:
+    def test_no_pci(self):
+        cfg = EndsystemConfig(include_pci=False)
+        assert cfg.transfer_cost_us == 0.0
+
+    def test_pio_default(self):
+        cfg = EndsystemConfig(include_pci=True)
+        assert cfg.transfer_cost_us == pytest.approx(cfg.host.pio_cost_us)
+
+    def test_peer(self):
+        cfg = EndsystemConfig(include_pci=True, peer_to_peer=True)
+        assert cfg.transfer_cost_us == PEER_TRANSFER_COST_US
+
+
+class TestPeerThroughput:
+    def test_peer_between_pio_and_ideal(self):
+        """Section 5.2's expectation: peer transfers close most of the
+        PIO gap."""
+        pio = run(EndsystemConfig(link=TEN_GIGABIT, include_pci=True))
+        peer = run(
+            EndsystemConfig(
+                link=TEN_GIGABIT, include_pci=True, peer_to_peer=True
+            )
+        )
+        ideal = run(EndsystemConfig(link=TEN_GIGABIT, include_pci=False))
+        assert pio.throughput_pps < peer.throughput_pps < ideal.throughput_pps
+        # Peer recovers most of the gap.
+        recovered = (peer.throughput_pps - pio.throughput_pps) / (
+            ideal.throughput_pps - pio.throughput_pps
+        )
+        assert recovered > 0.7
+
+    def test_shares_unaffected_by_transfer_policy(self):
+        peer = run(EndsystemConfig(include_pci=True, peer_to_peer=True))
+        bw = peer.te.bandwidth
+        horizon = peer.elapsed_us / 4
+        means = {
+            sid: float(bw.series(sid, horizon, t_end=horizon).mbps[0])
+            for sid in bw.stream_ids
+        }
+        assert means[3] / means[0] == pytest.approx(4.0, rel=0.05)

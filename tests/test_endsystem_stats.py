@@ -1,0 +1,63 @@
+"""Tests for the pipeline-stage analyzer."""
+
+import pytest
+
+from repro.endsystem import EndsystemConfig, EndsystemRouter, analyze_pipeline
+from repro.sim.nic import TEN_GIGABIT
+from repro.traffic.specs import ratio_workload
+
+
+def run(include_pci: bool, link=TEN_GIGABIT, frames=600):
+    specs = ratio_workload((1, 1, 2, 4), frames_per_stream=frames)
+    router = EndsystemRouter(
+        specs, EndsystemConfig(link=link, include_pci=include_pci)
+    )
+    return router.run(preload=True)
+
+
+class TestBottleneckDiagnosis:
+    def test_host_bound_without_pci(self):
+        report = analyze_pipeline(run(include_pci=False))
+        assert report.bottleneck.name == "host"
+        assert report.bottleneck.utilization == pytest.approx(1.0, abs=0.02)
+
+    def test_pio_path_loads_transfer_stage(self):
+        report = analyze_pipeline(run(include_pci=True))
+        # Host + PIO together saturate; the PIO stage carries its share.
+        pio = report.stage("pci-pio (critical path)")
+        host = report.stage("host")
+        assert pio.per_frame_us > 0
+        assert host.utilization + pio.utilization == pytest.approx(1.0, abs=0.02)
+
+    def test_wire_bound_on_slow_link(self):
+        from repro.endsystem.host import PLAYOUT_LINK_128M
+
+        report = analyze_pipeline(run(include_pci=True, link=PLAYOUT_LINK_128M))
+        assert report.bottleneck.name == "wire"
+
+    def test_fpga_never_the_bottleneck(self):
+        # The whole point of the architecture: decisions are fast.
+        for include_pci in (False, True):
+            report = analyze_pipeline(run(include_pci=include_pci))
+            assert report.stage("fpga decision").utilization < 0.1
+
+
+class TestReportShape:
+    def test_stage_lookup_and_errors(self):
+        report = analyze_pipeline(run(include_pci=False))
+        assert report.stage("wire").per_frame_us > 0
+        with pytest.raises(KeyError):
+            report.stage("quantum tunnel")
+
+    def test_empty_run(self):
+        specs = ratio_workload((1,), frames_per_stream=0)
+        router = EndsystemRouter(specs)
+        result = router.run(preload=True)
+        report = analyze_pipeline(result)
+        assert report.frames == 0
+        assert report.stages == ()
+
+    def test_overlapped_stages_reported(self):
+        report = analyze_pipeline(run(include_pci=True))
+        assert report.stage("pci bus (overlapped)").busy_us > 0
+        assert report.stage("sram arbitration (overlapped)").busy_us > 0

@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are user-facing documentation; these tests keep them green.
+Each runs with a reduced workload where the script takes an argument.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str]):
+    """Execute one example as __main__ with patched argv."""
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        return runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", [])
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "per-slot counters" in out
+
+    def test_mixed_traffic(self, capsys):
+        run_example("mixed_traffic.py", [])
+        out = capsys.readouterr().out
+        assert "fair-share service ratio" in out
+        assert "EDF stream missed deadlines" in out
+
+    def test_host_router(self, capsys):
+        run_example("host_router.py", ["1000"])
+        out = capsys.readouterr().out
+        assert "per-stream QoS" in out
+        assert "PCI:" in out
+
+    def test_aggregation_scale(self, capsys):
+        run_example("aggregation_scale.py", ["20"])
+        out = capsys.readouterr().out
+        assert "streamlets per slot" in out
+        assert "slot 4 weighted sets" in out
+
+    def test_wirespeed_explorer(self, capsys):
+        run_example("wirespeed_explorer.py", ["32", "64", "10"])
+        out = capsys.readouterr().out
+        assert "meets wire-speed" in out
+        assert "packet-time" in out
+
+    def test_media_streaming(self, capsys):
+        run_example("media_streaming.py", [])
+        out = capsys.readouterr().out
+        assert "window-constraint audit" in out
+        assert "OK" in out
+
+    @pytest.mark.slow
+    def test_hundreds_of_streams(self, capsys):
+        run_example("hundreds_of_streams.py", [])
+        out = capsys.readouterr().out
+        assert "1024 streams" in out
+        assert "FPGA budget" in out
+
+    def test_linecard_wirespeed(self, capsys):
+        run_example("linecard_wirespeed.py", [])
+        out = capsys.readouterr().out
+        assert "7.60 Mpps" in out
+        assert "wire-speed feasibility" in out

@@ -1,0 +1,90 @@
+"""Tests for the shared ablation sweeps."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    aggregation_sweep,
+    extensions_sweep,
+    pio_dma_crossover,
+    sort_schedule_sweep,
+    transfer_cost_sweep,
+)
+
+
+class TestSortSchedule:
+    def test_bitonic_always_sorts(self):
+        points = sort_schedule_sweep(slot_counts=(4, 8), trials=50)
+        for p in points:
+            if p.schedule == "bitonic":
+                assert p.fully_sorted_fraction == 1.0
+
+    def test_paper_degrades_with_width(self):
+        points = {
+            (p.schedule, p.n_slots): p
+            for p in sort_schedule_sweep(slot_counts=(4, 16), trials=50)
+        }
+        assert (
+            points[("paper", 16)].fully_sorted_fraction
+            < points[("paper", 4)].fully_sorted_fraction
+        )
+
+    def test_pass_costs(self):
+        points = {
+            (p.schedule, p.n_slots): p.passes
+            for p in sort_schedule_sweep(slot_counts=(16,), trials=1)
+        }
+        assert points[("paper", 16)] == 4
+        assert points[("bitonic", 16)] == 10
+
+    def test_deterministic_given_seed(self):
+        a = sort_schedule_sweep(slot_counts=(8,), trials=30, seed=3)
+        b = sort_schedule_sweep(slot_counts=(8,), trials=30, seed=3)
+        assert a == b
+
+
+class TestTransferCost:
+    def test_monotone_decreasing(self):
+        rows = transfer_cost_sweep((0.0, 1.0, 3.0), frames_per_stream=200)
+        pps = [r[1] for r in rows]
+        assert pps == sorted(pps, reverse=True)
+
+    def test_zero_cost_hits_no_pci_anchor(self):
+        rows = transfer_cost_sweep((0.0,), frames_per_stream=400)
+        assert rows[0][1] == pytest.approx(469_483, rel=0.02)
+
+
+class TestCrossover:
+    def test_small_pio_large_dma(self):
+        rows = pio_dma_crossover()
+        assert rows[0][3] == "pio"
+        assert rows[-1][3] == "dma"
+
+    def test_times_match_modes(self):
+        for words, pio, dma, best in pio_dma_crossover():
+            assert best == ("pio" if pio <= dma else "dma")
+
+
+class TestAggregationSweep:
+    def test_bandwidth_inverse_to_degree(self):
+        rows = aggregation_sweep((10, 20), frames_per_stream=1500)
+        by_degree = {r["degree"]: r for r in rows}
+        ratio = (
+            by_degree[10]["slot1_streamlet_mbps"]
+            / by_degree[20]["slot1_streamlet_mbps"]
+        )
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_fpga_slices_constant(self):
+        rows = aggregation_sweep((10, 20), frames_per_stream=1000)
+        assert rows[0]["aggregated_slices"] == rows[1]["aggregated_slices"]
+        assert rows[1]["dedicated_slices"] == 2 * rows[0]["dedicated_slices"]
+
+
+class TestExtensionsSweep:
+    def test_ordering(self):
+        for row in extensions_sweep((4, 32)):
+            assert row["base_pps"] < row["compute_ahead_pps"] < row["virtex2_pps"]
+
+    def test_area_factor_bounded(self):
+        for row in extensions_sweep((8,)):
+            assert 1.0 < row["area_factor"] < 1.4

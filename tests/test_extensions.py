@@ -1,0 +1,88 @@
+"""Tests for the Section 6 extensions: compute-ahead, Virtex-II scaling."""
+
+import pytest
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, Routing
+from repro.core.scheduler import ShareStreamsScheduler
+from repro.hwmodel import (
+    VIRTEX_1000,
+    VIRTEX_II_6000,
+    area_model,
+    clock_rate_mhz,
+    decision_cycles,
+    scheduler_throughput_pps,
+)
+
+
+class TestComputeAhead:
+    def test_update_cycle_hidden(self):
+        base = ArchConfig(n_slots=4)
+        ahead = ArchConfig(n_slots=4, compute_ahead=True)
+        assert base.update_cycles == 1
+        assert ahead.update_cycles == 0
+
+    def test_scheduler_cycle_count(self):
+        arch = ArchConfig(n_slots=4, compute_ahead=True, wrap=False)
+        s = ShareStreamsScheduler(
+            arch, [StreamConfig(sid=0, mode=SchedulingMode.EDF)]
+        )
+        s.enqueue(0, deadline=1, arrival=0)
+        outcome = s.decision_cycle(0)
+        assert outcome.hw_cycles == 2  # log2(4) passes only
+        assert s.cycles_per_decision == 2
+
+    def test_same_decisions_as_base(self):
+        # Compute-ahead is a timing optimization; behavior is identical.
+        def run(compute_ahead):
+            arch = ArchConfig(
+                n_slots=4, routing=Routing.WR, compute_ahead=compute_ahead, wrap=False
+            )
+            s = ShareStreamsScheduler(
+                arch,
+                [
+                    StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+                    for i in range(4)
+                ],
+            )
+            winners = []
+            for t in range(50):
+                for sid in range(4):
+                    s.enqueue(sid, deadline=(sid + 1) + t, arrival=t)
+                winners.append(s.decision_cycle(t).circulated_sid)
+            return winners
+
+        assert run(False) == run(True)
+
+    def test_model_cycles(self):
+        assert decision_cycles(4) - decision_cycles(4, compute_ahead=True) == 1
+
+    def test_throughput_gain(self):
+        base = scheduler_throughput_pps(4, Routing.WR)
+        ahead = scheduler_throughput_pps(4, Routing.WR, compute_ahead=True)
+        gain = ahead.packets_per_second / base.packets_per_second
+        assert gain == pytest.approx(9 / 8)
+
+    def test_area_cost(self):
+        base = area_model(8, Routing.WR)
+        ahead = area_model(8, Routing.WR, compute_ahead=True)
+        assert ahead.register_slices > base.register_slices
+        assert ahead.decision_slices == base.decision_slices
+        # Still fits the device at 32 slots.
+        assert area_model(32, Routing.WR, compute_ahead=True).fits
+
+
+class TestVirtexIIScaling:
+    def test_clock_scales_with_device(self):
+        v1 = clock_rate_mhz(4, Routing.WR, VIRTEX_1000)
+        v2 = clock_rate_mhz(4, Routing.WR, VIRTEX_II_6000)
+        assert v2 == pytest.approx(v1 * 2.0)
+
+    def test_throughput_point_carries_device_clock(self):
+        tp = scheduler_throughput_pps(4, Routing.WR, device=VIRTEX_II_6000)
+        assert tp.packets_per_second == pytest.approx(2 * 7_600_000)
+
+    def test_default_is_virtex_1(self):
+        assert clock_rate_mhz(4, Routing.WR) == clock_rate_mhz(
+            4, Routing.WR, VIRTEX_1000
+        )

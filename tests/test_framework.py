@@ -1,0 +1,94 @@
+"""Tests for the Figure 1 framework: packet times and complexity."""
+
+import pytest
+
+from repro.core.config import Routing
+from repro.framework import (
+    PROFILES,
+    achievable_rate_dps,
+    evaluate_point,
+    feasibility,
+    packet_time_us,
+    required_rate_dps,
+)
+
+
+class TestPacketTime:
+    def test_paper_quoted_values(self):
+        assert packet_time_us(1500, 1e10) == pytest.approx(1.2)
+        assert packet_time_us(64, 1e10) == pytest.approx(0.0512)
+        assert packet_time_us(1500, 1e9) == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packet_time_us(0, 1e9)
+        with pytest.raises(ValueError):
+            packet_time_us(64, 0)
+
+
+class TestFeasibility:
+    def test_paper_wire_speed_claims(self):
+        # "Our Virtex I implementation can easily meet the packet-time
+        # requirements of all frame sizes (64-byte and 1500-byte) on
+        # gigabit links, and 1500-byte frames on 10Gbps links."
+        for size in (64, 1500):
+            assert feasibility(32, size, 1e9).feasible
+        assert feasibility(32, 1500, 1e10).feasible
+
+    def test_64b_at_10g_infeasible_per_decision(self):
+        assert not feasibility(32, 64, 1e10).feasible
+
+    def test_block_amortization_helps(self):
+        point = feasibility(32, 64, 1e10, routing=Routing.BA, block=True)
+        # A 32-wide block amortizes the decision across 32 packets.
+        assert point.effective_decision_us < point.decision_us
+        assert point.feasible
+
+    def test_margin_definition(self):
+        p = feasibility(4, 1500, 1e9)
+        assert p.margin == pytest.approx(p.packet_us / p.decision_us)
+        assert p.feasible == (p.margin >= 1)
+
+
+class TestComplexity:
+    def test_dwcs_most_complex(self):
+        scores = {name: p.complexity_score for name, p in PROFILES.items()}
+        assert scores["dwcs"] == max(scores.values())
+        assert scores["fcfs"] == min(scores.values())
+
+    def test_required_rate(self):
+        # One decision per packet-time.
+        assert required_rate_dps(8, 1500, 1e9) == pytest.approx(1e6 / 12.0)
+        with pytest.raises(ValueError):
+            required_rate_dps(0, 1500, 1e9)
+
+    def test_fpga_rate_discipline_independent(self):
+        a = achievable_rate_dps("dwcs", 8, target="fpga")
+        b = achievable_rate_dps("edf", 8, target="fpga")
+        assert a == b  # the canonical architecture's whole point
+
+    def test_software_rate_uses_latency(self):
+        rate = achievable_rate_dps(
+            "dwcs", 8, target="software", software_latency_us=50.0
+        )
+        assert rate == pytest.approx(20_000)
+
+    def test_unknown_target(self):
+        with pytest.raises(ValueError):
+            achievable_rate_dps("edf", 8, target="abacus")
+
+    def test_evaluate_point_software_dwcs_fails_gigabit(self):
+        # Section 4.1: ~50us software DWCS cannot meet even 1Gbps/1500B.
+        p = evaluate_point(
+            "dwcs", 8, 1500, 1e9, target="software", software_latency_us=50.0
+        )
+        assert not p.realizable
+        assert p.headroom < 1
+
+    def test_evaluate_point_fpga_holds_10g(self):
+        p = evaluate_point("dwcs", 32, 1500, 1e10, target="fpga")
+        assert p.realizable
+
+    def test_unknown_discipline(self):
+        with pytest.raises(KeyError):
+            evaluate_point("lottery", 4, 64, 1e9)

@@ -1,0 +1,164 @@
+"""Tests for the calibrated Virtex area/clock/throughput models."""
+
+import pytest
+
+from repro.core.config import Routing
+from repro.hwmodel import (
+    CONTROL_SLICES,
+    DECISION_SLICES,
+    PIII_550_LINUX24,
+    PUBLISHED_COMPARATORS,
+    REGISTER_SLICES,
+    VIRTEX_1000,
+    VIRTEX_II_6000,
+    area_model,
+    clock_rate_mhz,
+    decision_cycles,
+    decision_time_us,
+    scheduler_throughput_pps,
+)
+
+
+class TestDeviceCatalog:
+    def test_virtex_1000_geometry(self):
+        # "64 x 96 Virtex I CLBs (2 Virtex I slices = 1 Virtex I CLB)"
+        assert VIRTEX_1000.clbs == 64 * 96
+        assert VIRTEX_1000.slices == 12_288
+        assert VIRTEX_1000.system_gates == 1_000_000
+
+    def test_virtex_ii_is_larger_and_faster(self):
+        assert VIRTEX_II_6000.slices > VIRTEX_1000.slices
+        assert VIRTEX_II_6000.max_clock_mhz > VIRTEX_1000.max_clock_mhz
+
+    def test_fit_check(self):
+        assert VIRTEX_1000.fits(10_000)
+        assert not VIRTEX_1000.fits(12_000)
+        with pytest.raises(ValueError):
+            VIRTEX_1000.utilization(-1)
+
+
+class TestAreaModel:
+    def test_paper_block_costs(self):
+        # Section 5.1's measured slice counts.
+        assert CONTROL_SLICES == 22
+        assert DECISION_SLICES == 190
+        assert REGISTER_SLICES == 150
+
+    def test_component_counts(self):
+        a = area_model(8, Routing.BA)
+        assert a.decision_slices == 4 * 190
+        assert a.register_slices == 8 * 150
+        assert a.control_slices == 22
+
+    def test_linear_growth(self):
+        # Doubling slots roughly doubles area (fixed control offset).
+        areas = {n: area_model(n, Routing.BA).total_slices for n in (4, 8, 16, 32)}
+        for n in (4, 8, 16):
+            ratio = (areas[2 * n] - 22) / (areas[n] - 22)
+            assert ratio == pytest.approx(2.0, rel=1e-6)
+
+    def test_ba_wr_nearly_equal_area(self):
+        # "The BA architecture maintains almost the same area with its
+        # WR counterpart for all stream-slot sizes."
+        for n in (4, 8, 16, 32):
+            ba = area_model(n, Routing.BA).total_slices
+            wr = area_model(n, Routing.WR).total_slices
+            assert abs(ba - wr) / wr < 0.05
+
+    def test_32_slots_fit_single_chip(self):
+        # "easily scales from 4 to 32 stream-slots on a single chip"
+        assert area_model(32, Routing.BA).fits
+        assert area_model(32, Routing.WR).fits
+
+    def test_rejects_odd_counts(self):
+        with pytest.raises(ValueError):
+            area_model(5)
+        with pytest.raises(ValueError):
+            area_model(0)
+
+    def test_clb_conversion(self):
+        a = area_model(4, Routing.BA)
+        assert a.total_clbs == pytest.approx(a.total_slices / 2)
+
+
+class TestClockModel:
+    def test_wr_flatter_than_ba(self):
+        # "The WR architecture shows lesser clock-rate variation from 4
+        # to 32 stream-slots, than the BA architecture."
+        wr_span = clock_rate_mhz(4, Routing.WR) - clock_rate_mhz(32, Routing.WR)
+        ba_span = clock_rate_mhz(4, Routing.BA) - clock_rate_mhz(32, Routing.BA)
+        wr_rel = wr_span / clock_rate_mhz(4, Routing.WR)
+        ba_rel = ba_span / clock_rate_mhz(4, Routing.BA)
+        assert wr_rel < ba_rel
+
+    def test_degradation_anchors(self):
+        # ~20% at 8/16 slots, ~10% at 32 (Section 5.1).
+        for n, expected in ((8, 0.20), (16, 0.20), (32, 0.10)):
+            deg = 1 - clock_rate_mhz(n, Routing.BA) / clock_rate_mhz(n, Routing.WR)
+            assert deg == pytest.approx(expected, abs=0.02)
+
+    def test_below_card_ceiling(self):
+        for n in (4, 8, 16, 32):
+            for r in Routing:
+                assert clock_rate_mhz(n, r) <= VIRTEX_1000.max_clock_mhz
+
+    def test_interpolation_between_anchors(self):
+        mid = clock_rate_mhz(12, Routing.WR)
+        assert clock_rate_mhz(16, Routing.WR) < mid < clock_rate_mhz(8, Routing.WR)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            clock_rate_mhz(1)
+
+
+class TestTiming:
+    @pytest.mark.parametrize("n,sort", [(4, 2), (8, 3), (16, 4), (32, 5)])
+    def test_decision_cycles_log_growth(self, n, sort):
+        # sort passes + 1 update + fixed overhead.
+        assert decision_cycles(n) == sort + 1 + 6
+
+    def test_bitonic_costs_more(self):
+        assert decision_cycles(8, schedule="bitonic") > decision_cycles(8)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            decision_cycles(8, schedule="bogo")
+
+    def test_decision_time_positive_and_increasing(self):
+        times = [decision_time_us(n, Routing.BA) for n in (4, 8, 16, 32)]
+        assert all(t > 0 for t in times)
+        assert times == sorted(times)
+
+
+class TestThroughput:
+    def test_linecard_anchor(self):
+        # The paper's 7.6 Mpps at 4 slots.
+        tp = scheduler_throughput_pps(4, Routing.WR)
+        assert tp.packets_per_second == pytest.approx(7_600_000)
+
+    def test_block_gains_factor_n(self):
+        wr = scheduler_throughput_pps(4, Routing.WR)
+        ba = scheduler_throughput_pps(4, Routing.BA, block=True)
+        gain = ba.packets_per_second / wr.packets_per_second
+        # Factor of the block size, discounted only by the BA clock.
+        assert gain == pytest.approx(4 * (62.9 / 68.4) / 1.0, rel=0.02)
+
+    def test_block_requires_ba(self):
+        with pytest.raises(ValueError):
+            scheduler_throughput_pps(4, Routing.WR, block=True)
+
+
+class TestHostModel:
+    def test_calibrated_anchors(self):
+        assert PIII_550_LINUX24.throughput_pps(include_pio=False) == pytest.approx(469_483)
+        assert PIII_550_LINUX24.throughput_pps(include_pio=True) == pytest.approx(299_065)
+
+    def test_cost_ordering(self):
+        assert PIII_550_LINUX24.packet_cost_us > 0
+        assert PIII_550_LINUX24.pio_cost_us > 0
+
+    def test_published_table_contains_key_rows(self):
+        assert "Click modular router (SFQ module)" in PUBLISHED_COMPARATORS
+        assert PUBLISHED_COMPARATORS[
+            "Router plug-ins (Pentium Pro, DRR, NetBSD)"
+        ] == 28_279

@@ -1,0 +1,84 @@
+"""Tests for the multi-chip scaling/provisioning model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Routing
+from repro.hwmodel import VIRTEX_II_6000, provision
+
+
+class TestProvisioning:
+    def test_small_population_single_chip(self):
+        plan = provision(100, per_stream_qos_fraction=0.1, aggregation_degree=100)
+        # 10 QoS slots + 1 aggregated slot = 11 slots -> one 32-slot chip.
+        assert plan.qos_streams == 10
+        assert plan.slots_needed == 11
+        assert plan.chips == 1
+        assert plan.slots_per_chip == 32
+
+    def test_backbone_thousands_of_streams(self):
+        # Section 4.2's backbone: thousands of streams, mostly aggregated.
+        plan = provision(
+            10_000, per_stream_qos_fraction=0.01, aggregation_degree=100
+        )
+        assert plan.qos_streams == 100
+        assert plan.slots_needed == 100 + 99
+        assert plan.chips == pytest.approx(7, abs=1)
+        assert plan.streams_per_chip > 1000
+
+    def test_all_per_stream_qos_needs_many_chips(self):
+        plan = provision(10_000, per_stream_qos_fraction=1.0)
+        assert plan.slots_needed == 10_000
+        assert plan.chips == 313  # ceil(10000/32)
+
+    def test_aggregation_slashes_chip_count(self):
+        dedicated = provision(10_000, per_stream_qos_fraction=1.0)
+        aggregated = provision(
+            10_000, per_stream_qos_fraction=0.0, aggregation_degree=100
+        )
+        assert aggregated.chips < dedicated.chips / 50
+
+    def test_larger_device_same_slot_cap(self):
+        # The 5-bit stream ID caps slots at 32 even on a bigger part.
+        plan = provision(1000, device=VIRTEX_II_6000)
+        assert plan.slots_per_chip == 32
+
+    def test_decision_rate_positive(self):
+        plan = provision(64, routing=Routing.WR)
+        assert plan.decisions_per_second_per_chip > 1e6
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_streams": 0},
+            {"total_streams": 10, "per_stream_qos_fraction": -0.1},
+            {"total_streams": 10, "per_stream_qos_fraction": 1.5},
+            {"total_streams": 10, "aggregation_degree": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        total = kwargs.pop("total_streams")
+        with pytest.raises(ValueError):
+            provision(total, **kwargs)
+
+    @given(
+        total=st.integers(1, 100_000),
+        fraction=st.floats(0.0, 1.0),
+        degree=st.integers(1, 500),
+    )
+    @settings(max_examples=100)
+    def test_every_stream_is_carried(self, total, fraction, degree):
+        plan = provision(
+            total, per_stream_qos_fraction=fraction, aggregation_degree=degree
+        )
+        assert plan.qos_streams + plan.aggregated_streams == total
+        capacity = plan.chips * plan.slots_per_chip
+        # Slot capacity covers the need.
+        assert capacity >= plan.slots_needed
+        # And the slots can actually carry the population.
+        carriable = (
+            plan.qos_streams
+            + (plan.slots_needed - plan.qos_streams) * degree
+        )
+        assert carriable >= total

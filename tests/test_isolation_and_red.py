@@ -1,0 +1,133 @@
+"""Tests for the RED queue and the flow-isolation comparison."""
+
+import pytest
+
+from repro.disciplines.base import Packet
+from repro.disciplines.red import REDQueue
+from repro.experiments.isolation import run_isolation
+
+
+def pkt(seq, t=0.0):
+    return Packet(stream_id=0, seq=seq, arrival=t, length=1)
+
+
+class TestREDQueue:
+    def test_below_min_threshold_never_drops(self):
+        q = REDQueue(min_th=5, max_th=15, rng=0)
+        for k in range(4):
+            assert q.enqueue(pkt(k))
+        assert q.stats.drop_rate == 0.0
+
+    def test_forced_drop_above_max_threshold(self):
+        q = REDQueue(min_th=2, max_th=4, wq=1.0, capacity=64, rng=0)
+        # wq=1: avg tracks instantaneous depth exactly.
+        for k in range(4):
+            q.enqueue(pkt(k))
+        assert not q.enqueue(pkt(99))
+        assert q.stats.dropped_forced >= 1
+
+    def test_early_drops_ramp_between_thresholds(self):
+        q = REDQueue(min_th=5, max_th=50, wq=1.0, max_p=0.5, capacity=128, rng=1)
+        offered = 0
+        for k in range(100):
+            q.enqueue(pkt(k))
+            offered += 1
+            if k % 3 == 0:
+                q.dequeue()
+        assert q.stats.dropped_early > 0
+        assert 0 < q.stats.drop_rate < 1
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            q = REDQueue(min_th=3, max_th=10, wq=0.5, capacity=32, rng=seed)
+            outcomes = []
+            for k in range(60):
+                outcomes.append(q.enqueue(pkt(k)))
+                if k % 2:
+                    q.dequeue()
+            return outcomes
+
+        assert run(5) == run(5)
+
+    def test_hard_capacity(self):
+        q = REDQueue(min_th=5, max_th=15, capacity=16, rng=0)
+        for k in range(30):
+            q.enqueue(pkt(k))
+        assert len(q) <= 16
+        assert q.stats.dropped_full > 0 or q.stats.dropped_forced > 0
+
+    def test_fifo_order(self):
+        q = REDQueue(rng=0)
+        a, b = pkt(0), pkt(1)
+        q.enqueue(a)
+        q.enqueue(b)
+        assert q.peek() is a
+        assert q.dequeue() is a
+        assert q.dequeue() is b
+        assert q.dequeue() is None
+
+    def test_idle_decay_reduces_average(self):
+        q = REDQueue(min_th=2, max_th=6, wq=0.5, rng=0)
+        for k in range(6):
+            q.enqueue(pkt(k), now=0.0)
+        avg_busy = q.avg
+        while q.dequeue(now=1.0) is not None:
+            pass
+        q.enqueue(pkt(99), now=500.0)
+        assert q.avg < avg_busy
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_th": 0, "max_th": 5},
+            {"min_th": 5, "max_th": 5},
+            {"min_th": 2, "max_th": 5, "max_p": 0.0},
+            {"min_th": 2, "max_th": 5, "wq": 0.0},
+            {"min_th": 2, "max_th": 5, "capacity": 3},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            REDQueue(**kwargs)
+
+
+class TestIsolation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.system: r for r in run_isolation(horizon=2500)}
+
+    def _get(self, results, prefix):
+        for name, r in results.items():
+            if name.startswith(prefix):
+                return r
+        raise KeyError(prefix)
+
+    def test_sharestreams_meets_every_deadline(self, results):
+        ss = self._get(results, "ShareStreams")
+        assert ss.rt_miss_rate == 0.0
+        assert ss.queues == 32
+
+    def test_gsr_hashed_queues_miss(self, results):
+        gsr = self._get(results, "GSR-style")
+        assert gsr.rt_miss_rate > 0.05
+
+    def test_teracross_delay_granularity_loss(self, results):
+        ss = self._get(results, "ShareStreams")
+        tera = self._get(results, "Teracross")
+        # Class-only queuing inflates the urgent flows' delay even when
+        # deadlines are met.
+        assert tera.tight_flow_p99_delay > 3 * ss.tight_flow_p99_delay
+
+    def test_delay_ordering_across_systems(self, results):
+        ss = self._get(results, "ShareStreams")
+        gsr = self._get(results, "GSR-style")
+        tera = self._get(results, "Teracross")
+        assert (
+            ss.tight_flow_p99_delay
+            < tera.tight_flow_p99_delay
+            < gsr.tight_flow_p99_delay
+        )
+
+    def test_same_offered_workload(self, results):
+        counts = {r.rt_packets for r in results.values()}
+        assert len(counts) == 1

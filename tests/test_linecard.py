@@ -1,0 +1,84 @@
+"""Tests for the switch line-card realization."""
+
+import pytest
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, Routing
+from repro.linecard import Linecard
+
+
+def make_linecard(n_slots=4, routing=Routing.WR, **arch_kwargs):
+    arch = ArchConfig(n_slots=n_slots, routing=routing, wrap=False, **arch_kwargs)
+    streams = [
+        StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+        for i in range(n_slots)
+    ]
+    return Linecard(arch, streams)
+
+
+class TestThroughput:
+    def test_paper_anchor_4_slots(self):
+        lc = make_linecard(4)
+        for sid in range(4):
+            for k in range(200):
+                lc.feed(sid, deadline=(sid + 1) + k, arrival=k)
+        result = lc.run(500)
+        assert result.throughput_pps == pytest.approx(7_600_000)
+
+    def test_behavioral_matches_analytic(self):
+        lc = make_linecard(8)
+        for sid in range(8):
+            for k in range(100):
+                lc.feed(sid, deadline=(sid + 1) + k, arrival=k)
+        result = lc.run(400)
+        assert result.throughput_pps == pytest.approx(
+            lc.model_throughput_pps()
+        )
+
+    def test_block_mode_multiplies_throughput(self):
+        lc = make_linecard(4, routing=Routing.BA)
+        for sid in range(4):
+            for k in range(300):
+                lc.feed(sid, deadline=(sid + 1) + k, arrival=k)
+        result = lc.run(200, consume="block")
+        assert result.packets_scheduled == 800
+        assert result.throughput_pps == pytest.approx(
+            lc.model_throughput_pps(block=True)
+        )
+
+    def test_elapsed_time(self):
+        lc = make_linecard(4)
+        lc.feed(0, deadline=1, arrival=0)
+        result = lc.run(1)
+        assert result.elapsed_us == pytest.approx(
+            lc.cycles_per_decision / lc.clock_mhz
+        )
+
+
+class TestWinnerSequence:
+    def test_edf_order_recorded(self):
+        lc = make_linecard(4)
+        deadlines = {0: 9, 1: 2, 2: 7, 3: 5}
+        for sid, d in deadlines.items():
+            lc.feed(sid, deadline=d, arrival=0)
+        result = lc.run(4, record_winners=True)
+        assert result.winner_sequence == (1, 3, 2, 0)
+
+    def test_idle_cycles_schedule_nothing(self):
+        lc = make_linecard(4)
+        result = lc.run(10)
+        assert result.packets_scheduled == 0
+        assert result.throughput_pps == 0.0 or result.packets_scheduled == 0
+
+
+class TestModelBehavioralAgreement:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_throughput_model_matches_run_all_widths(self, n):
+        lc = make_linecard(n)
+        for sid in range(n):
+            for k in range(60):
+                lc.feed(sid, deadline=(sid + 1) + k, arrival=k)
+        result = lc.run(50)
+        assert result.throughput_pps == pytest.approx(
+            lc.model_throughput_pps()
+        )

@@ -1,0 +1,112 @@
+"""Tests for the dual-ported SRAM fabric path and FabricLinecard."""
+
+import pytest
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, Routing
+from repro.linecard import DualPortedSRAM, FabricLinecard, SwitchFabric
+
+
+class TestDualPortedSRAM:
+    def test_deposit_and_consume(self):
+        sram = DualPortedSRAM(2)
+        assert sram.deposit(0, 100)
+        assert sram.deposit(0, 101)
+        assert sram.backlog(0) == 2
+        assert sram.consume(0) == 100
+        assert sram.head_arrival(0) == 101
+        assert sram.backlog(0) == 1  # peek is non-destructive
+
+    def test_partition_full_drops(self):
+        sram = DualPortedSRAM(1, queue_depth=2)
+        assert sram.deposit(0, 1) and sram.deposit(0, 2)
+        assert not sram.deposit(0, 3)
+        assert sram.stats.packets_dropped_full == 1
+
+    def test_arrival_times_are_16bit(self):
+        sram = DualPortedSRAM(1)
+        sram.deposit(0, 70000)
+        assert sram.consume(0) == 70000 & 0xFFFF
+
+    def test_id_partition(self):
+        sram = DualPortedSRAM(4)
+        for sid in (3, 1, 2):
+            assert sram.emit_winner(sid)
+        assert list(sram.drain_ids(3)) == [3, 1, 2]
+        assert sram.stats.ids_emitted == 3
+
+    def test_empty_partition(self):
+        sram = DualPortedSRAM(1)
+        assert sram.consume(0) is None
+        assert sram.head_arrival(0) is None
+
+    def test_rejects_zero_streams(self):
+        with pytest.raises(ValueError):
+            DualPortedSRAM(0)
+
+
+class TestSwitchFabric:
+    def test_offer_batch(self):
+        sram = DualPortedSRAM(2, queue_depth=8)
+        fabric = SwitchFabric(sram)
+        accepted = fabric.offer(1, range(5))
+        assert accepted == 5
+        assert sram.backlog(1) == 5
+
+    def test_offer_stops_at_capacity(self):
+        sram = DualPortedSRAM(1, queue_depth=4)
+        fabric = SwitchFabric(sram)
+        assert fabric.offer(0, range(10)) == 4
+
+
+class TestFabricLinecard:
+    def _make(self, n_slots=4):
+        arch = ArchConfig(n_slots=n_slots, routing=Routing.WR, wrap=True)
+        streams = [
+            StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+            for i in range(n_slots)
+        ]
+        return FabricLinecard(arch, streams)
+
+    def test_full_path_schedules_and_emits_ids(self):
+        lc = self._make()
+        fabric = SwitchFabric(lc.sram)
+        for sid in range(4):
+            fabric.offer(sid, range(sid, 100 + sid))
+        result = lc.pump(80)
+        assert result.packets_scheduled == 80
+        ids = list(lc.sram.drain_ids(80))
+        assert len(ids) == 80
+        assert set(ids) <= {0, 1, 2, 3}
+
+    def test_edf_ordering_via_fabric(self):
+        lc = self._make()
+        # Stream 2 has the earliest arrival -> earliest deadline.
+        lc.sram.deposit(0, 50)
+        lc.sram.deposit(1, 30)
+        lc.sram.deposit(2, 10)
+        lc.sram.deposit(3, 40)
+        result = lc.pump(4)
+        assert result.winner_sequence[0] == 2
+
+    def test_idle_when_fabric_empty(self):
+        lc = self._make()
+        result = lc.pump(5)
+        assert result.packets_scheduled == 0
+
+    def test_wire_speed_utilization(self):
+        lc = self._make()
+        # 1500B at 10G: packet-time 1.2us >> decision time -> full rate.
+        assert lc.wire_speed_utilization(1e10, 1500) == 1.0
+        # 64B at 10G: winner-per-decision cannot keep up...
+        assert lc.wire_speed_utilization(1e10, 64) < 1.0
+        # ...but block emission can (the paper's tradeoff).
+        arch = ArchConfig(n_slots=4, routing=Routing.BA)
+        streams = [
+            StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+            for i in range(4)
+        ]
+        from repro.linecard import Linecard
+
+        ba = Linecard(arch, streams)
+        assert ba.wire_speed_utilization(1e10, 64, block=True) == 1.0

@@ -1,0 +1,174 @@
+"""Tests for bandwidth/delay metrics and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    BandwidthMeter,
+    DelayTracker,
+    format_quantity,
+    render_series,
+    render_table,
+)
+
+
+class TestBandwidthMeter:
+    def test_windowed_series(self):
+        m = BandwidthMeter()
+        # 1500 bytes every 10us for 1000us -> 150 MB/s.
+        for k in range(100):
+            m.record(0, k * 10.0, 1500)
+        s = m.series(0, window_us=100.0, t_end=1000.0)
+        assert len(s.mbps) == 10
+        assert np.allclose(s.mbps, 150.0)
+        assert s.mean_mbps == pytest.approx(150.0)
+
+    def test_empty_stream(self):
+        m = BandwidthMeter()
+        s = m.series(7, window_us=10.0, t_end=100.0)
+        assert np.all(s.mbps == 0)
+        assert s.mean_mbps == 0.0
+
+    def test_total_bytes_and_mean(self):
+        m = BandwidthMeter()
+        m.record(1, 10.0, 500)
+        m.record(1, 20.0, 1500)
+        assert m.total_bytes(1) == 2000
+        assert m.mean_mbps(1, t_end=100.0) == pytest.approx(20.0)
+
+    def test_ratios(self):
+        m = BandwidthMeter()
+        for k in range(10):
+            m.record(0, k * 10.0, 100)
+            m.record(1, k * 10.0, 400)
+        ratios = m.ratios(t_end=100.0)
+        assert ratios[0] == pytest.approx(1.0)
+        assert ratios[1] == pytest.approx(4.0)
+
+    def test_window_validation(self):
+        m = BandwidthMeter()
+        with pytest.raises(ValueError):
+            m.series(0, window_us=0.0)
+
+    def test_stream_ids_sorted(self):
+        m = BandwidthMeter()
+        m.record(3, 0.0, 1)
+        m.record(1, 0.0, 1)
+        assert m.stream_ids == [1, 3]
+
+
+class TestDelayTracker:
+    def test_series_delays(self):
+        t = DelayTracker()
+        t.record(0, arrival_us=10.0, departure_us=25.0)
+        t.record(0, arrival_us=20.0, departure_us=30.0)
+        s = t.series(0)
+        assert np.allclose(s.delays_us, [15.0, 10.0])
+        assert s.mean_us == pytest.approx(12.5)
+        assert s.max_us == pytest.approx(15.0)
+
+    def test_percentile(self):
+        t = DelayTracker()
+        for k in range(100):
+            t.record(0, 0.0, float(k + 1))
+        assert t.series(0).percentile_us(50) == pytest.approx(50.5)
+
+    def test_rejects_time_travel(self):
+        t = DelayTracker()
+        with pytest.raises(ValueError):
+            t.record(0, arrival_us=10.0, departure_us=5.0)
+
+    def test_smoothed_window(self):
+        t = DelayTracker()
+        for k in range(10):
+            t.record(0, 0.0, float(k))
+        s = t.series(0)
+        sm = s.smoothed(3)
+        assert len(sm) == 8
+        assert sm[0] == pytest.approx(1.0)
+
+    def test_smoothed_degenerate(self):
+        t = DelayTracker()
+        t.record(0, 0.0, 1.0)
+        s = t.series(0)
+        assert np.array_equal(s.smoothed(5), s.delays_us)
+
+    def test_empty_series(self):
+        t = DelayTracker()
+        s = t.series(9)
+        assert s.mean_us == 0.0
+        assert s.max_us == 0.0
+        assert s.percentile_us(99) == 0.0
+
+
+class TestRendering:
+    def test_format_quantity(self):
+        assert format_quantity(0) == "0"
+        assert format_quantity(12) == "12"
+        assert format_quantity(1_234_567) == "1,234,567"
+        assert format_quantity(2_500_000.0) == "2,500,000"
+        assert format_quantity(0.0012345) == "0.001234"
+        assert format_quantity(True) == "True"
+
+    def test_render_table_alignment(self):
+        out = render_table(
+            ["name", "pps"],
+            [["click", 333000], ["sharestreams", 7600000]],
+            title="cmp",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "cmp"
+        assert "name" in lines[1] and "pps" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_render_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series_downsamples(self):
+        xs = list(range(100))
+        ys = [float(x) for x in xs]
+        out = render_series("ramp", xs, ys, max_points=4)
+        assert out.startswith("ramp")
+        assert out.count(":") == 4
+
+    def test_render_series_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], [1.0])
+
+    def test_render_series_units(self):
+        out = render_series("bw", [1], [2.0], x_unit="s", y_unit="MBps")
+        assert "[s : MBps]" in out
+
+
+class TestJainIndex:
+    def test_equal_streams_perfectly_fair(self):
+        m = BandwidthMeter()
+        for sid in range(4):
+            m.record(sid, 50.0, 1000)
+        assert m.jain_index(t_end=100.0) == pytest.approx(1.0)
+
+    def test_single_hog_approaches_reciprocal_n(self):
+        m = BandwidthMeter()
+        m.record(0, 50.0, 10_000)
+        for sid in (1, 2, 3):
+            m.record(sid, 50.0, 1)
+        assert m.jain_index(t_end=100.0) == pytest.approx(0.25, abs=0.01)
+
+    def test_weighted_normalization(self):
+        m = BandwidthMeter()
+        for sid, share in [(0, 1), (1, 1), (2, 2), (3, 4)]:
+            m.record(sid, 50.0, 1500 * share)
+        weights = {0: 1.0, 1: 1.0, 2: 2.0, 3: 4.0}
+        assert m.jain_index(t_end=100.0, weights=weights) == pytest.approx(1.0)
+        assert m.jain_index(t_end=100.0) < 1.0
+
+    def test_empty_meter(self):
+        assert BandwidthMeter().jain_index(t_end=1.0) == 0.0
+
+    def test_rejects_bad_weight(self):
+        m = BandwidthMeter()
+        m.record(0, 1.0, 1)
+        with pytest.raises(ValueError):
+            m.jain_index(t_end=1.0, weights={0: 0.0})

@@ -1,0 +1,96 @@
+"""Tests for CSV export of experiment series."""
+
+import csv
+
+import pytest
+
+from repro.metrics import (
+    BandwidthMeter,
+    DelayTracker,
+    write_bandwidth_csv,
+    write_delay_csv,
+    write_rows_csv,
+)
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestRowsCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_rows_csv(
+            tmp_path / "t.csv", ["a", "b"], [[1, 2], [3, 4]]
+        )
+        rows = read_csv(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_rows_csv(tmp_path / "x" / "y" / "t.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_rejects_ragged(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows_csv(tmp_path / "t.csv", ["a"], [[1, 2]])
+
+
+class TestBandwidthCsv:
+    def _series(self):
+        m = BandwidthMeter()
+        for k in range(20):
+            m.record(0, k * 10.0, 100)
+            m.record(1, k * 10.0, 400)
+        return {
+            sid: m.series(sid, window_us=50.0, t_end=200.0) for sid in (0, 1)
+        }
+
+    def test_columns_and_rows(self, tmp_path):
+        path = write_bandwidth_csv(tmp_path / "bw.csv", self._series())
+        rows = read_csv(path)
+        assert rows[0] == ["t_end_us", "stream0_mbps", "stream1_mbps"]
+        assert len(rows) == 1 + 4  # 4 windows of 50us over 200us
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bandwidth_csv(tmp_path / "bw.csv", {})
+
+    def test_mismatched_grids_rejected(self, tmp_path):
+        m = BandwidthMeter()
+        m.record(0, 10.0, 100)
+        m.record(1, 10.0, 100)
+        series = {
+            0: m.series(0, window_us=50.0, t_end=200.0),
+            1: m.series(1, window_us=50.0, t_end=400.0),
+        }
+        with pytest.raises(ValueError):
+            write_bandwidth_csv(tmp_path / "bw.csv", series)
+
+
+class TestDelayCsv:
+    def test_one_row_per_frame(self, tmp_path):
+        t = DelayTracker()
+        for k in range(5):
+            t.record(0, float(k), float(k) + 2.0)
+            t.record(1, float(k), float(k) + 4.0)
+        series = {sid: t.series(sid) for sid in (0, 1)}
+        path = write_delay_csv(tmp_path / "delay.csv", series)
+        rows = read_csv(path)
+        assert rows[0] == ["stream", "departure_us", "delay_us"]
+        assert len(rows) == 1 + 10
+        assert rows[1][2] == "2.0"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_delay_csv(tmp_path / "d.csv", {})
+
+
+class TestEndToEndExport:
+    def test_figure8_data_exports(self, tmp_path):
+        from repro.experiments.figure8 import run_figure8
+
+        result = run_figure8(frames_per_stream=800)
+        path = write_bandwidth_csv(tmp_path / "figure8.csv", result.series)
+        rows = read_csv(path)
+        assert len(rows) > 2
+        assert len(rows[0]) == 5  # time + four streams

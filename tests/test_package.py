@@ -1,0 +1,75 @@
+"""Package-level tests: exports, version, documentation hygiene."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.disciplines",
+    "repro.endsystem",
+    "repro.experiments",
+    "repro.framework",
+    "repro.hwmodel",
+    "repro.linecard",
+    "repro.metrics",
+    "repro.sim",
+    "repro.traffic",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        for name in (
+            "ArchConfig",
+            "BlockMode",
+            "Routing",
+            "SchedulingMode",
+            "ShareStreamsScheduler",
+            "StreamConfig",
+        ):
+            assert hasattr(repro, name)
+
+    def test_all_is_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_imports_cleanly(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_classes_documented(self, module_name):
+        """Every public class and function carries a docstring."""
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+    def test_core_methods_documented(self):
+        from repro.core.scheduler import ShareStreamsScheduler
+
+        for name, member in inspect.getmembers(
+            ShareStreamsScheduler, predicate=inspect.isfunction
+        ):
+            if name.startswith("_"):
+                continue
+            assert member.__doc__, f"ShareStreamsScheduler.{name} undocumented"

@@ -1,0 +1,105 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(9.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_fifo_among_simultaneous(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(1.0, log.append, 2)
+        sim.schedule(1.0, log.append, 3)
+        sim.run()
+        assert log == [1, 2, 3]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.schedule_at(3.0, lambda: None)
+        assert sim.peek_time() == 3.0
+
+    def test_rejects_past(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, log.append, "x")
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert log == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(10.0, log.append, "late")
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert not sim.step()
+
+    def test_counters(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.events_run == 2
+        assert sim.pending == 0
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert sim.peek_time() == 2.0

@@ -1,0 +1,127 @@
+"""Tests for the synchronization-free circular queues."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.ring import ArrivalRing, CircularQueue
+
+
+class TestCircularQueue:
+    def test_capacity_rounds_to_pow2(self):
+        assert CircularQueue(5).capacity == 8
+        assert CircularQueue(8).capacity == 8
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CircularQueue(0)
+
+    def test_fifo_order(self):
+        q = CircularQueue(4)
+        for x in "abcd":
+            assert q.push(x)
+        assert [q.pop() for _ in range(4)] == list("abcd")
+
+    def test_push_full_fails(self):
+        q = CircularQueue(2)
+        assert q.push(1) and q.push(2)
+        assert q.full
+        assert not q.push(3)
+
+    def test_pop_empty_returns_none(self):
+        assert CircularQueue(2).pop() is None
+
+    def test_peek(self):
+        q = CircularQueue(2)
+        q.push("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_wraparound_reuse(self):
+        q = CircularQueue(2)
+        for k in range(100):
+            assert q.push(k)
+            assert q.pop() == k
+
+    def test_extend_partial(self):
+        q = CircularQueue(4)
+        assert q.extend(range(10)) == 4
+
+    def test_free_accounting(self):
+        q = CircularQueue(4)
+        q.push(1)
+        assert q.free == 3
+
+    @given(ops=st.lists(st.one_of(st.none(), st.integers()), max_size=200))
+    def test_fifo_property(self, ops):
+        """Any push/pop interleaving behaves like collections.deque."""
+        from collections import deque
+
+        q = CircularQueue(16)
+        model: deque = deque()
+        for op in ops:
+            if op is None:
+                assert q.pop() == (model.popleft() if model else None)
+            else:
+                pushed = q.push(op)
+                assert pushed == (len(model) < q.capacity)
+                if pushed:
+                    model.append(op)
+            assert len(q) == len(model)
+
+
+class TestArrivalRing:
+    def test_batch_roundtrip(self):
+        ring = ArrivalRing(8)
+        data = np.arange(6, dtype=np.uint16)
+        assert ring.push_batch(data) == 6
+        out = ring.pop_batch(6)
+        assert np.array_equal(out, data)
+
+    def test_batch_wraps_boundary(self):
+        ring = ArrivalRing(8)
+        ring.push_batch(np.arange(6, dtype=np.uint16))
+        ring.pop_batch(6)
+        # Now read/write indices sit near the boundary.
+        data = np.arange(100, 108, dtype=np.uint16)
+        assert ring.push_batch(data) == 8
+        assert np.array_equal(ring.pop_batch(8), data)
+
+    def test_push_batch_respects_capacity(self):
+        ring = ArrivalRing(4)
+        taken = ring.push_batch(np.arange(10, dtype=np.uint16))
+        assert taken == 4
+        assert ring.free == 0
+
+    def test_pop_batch_caps_at_fill(self):
+        ring = ArrivalRing(4)
+        ring.push_batch(np.array([1, 2], dtype=np.uint16))
+        out = ring.pop_batch(10)
+        assert len(out) == 2
+
+    def test_single_ops(self):
+        ring = ArrivalRing(2)
+        assert ring.push(7)
+        assert ring.push(8)
+        assert not ring.push(9)
+        assert ring.pop() == 7
+        assert ring.pop() == 8
+        assert ring.pop() is None
+
+    @given(
+        chunks=st.lists(
+            st.lists(st.integers(0, 65535), min_size=1, max_size=20),
+            max_size=20,
+        )
+    )
+    def test_batch_fifo_property(self, chunks):
+        ring = ArrivalRing(64)
+        expected: list[int] = []
+        for chunk in chunks:
+            arr = np.asarray(chunk, dtype=np.uint16)
+            taken = ring.push_batch(arr)
+            expected.extend(chunk[:taken])
+            got = ring.pop_batch(len(expected))
+            assert list(got) == expected[: len(got)]
+            expected = expected[len(got) :]

@@ -1,0 +1,181 @@
+"""Tests for SRAM arbitration, the PCI model and the link model."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.nic import GIGABIT, TEN_GIGABIT, Link, TxPort
+from repro.sim.pci import PCIBus, PCIConfig
+from repro.sim.sram import BankedSRAM, Owner, SRAMBank
+
+
+class TestSRAMBank:
+    def test_write_then_read_roundtrip(self):
+        bank = SRAMBank(64, owner=Owner.HOST)
+        bank.write(Owner.HOST, 0, [1, 2, 3])
+        values, _ = bank.read(Owner.HOST, 0, 3)
+        assert values == [1, 2, 3]
+
+    def test_same_owner_access_is_free(self):
+        bank = SRAMBank(64, owner=Owner.HOST, switch_cost_us=2.0)
+        cost = bank.write(Owner.HOST, 0, [1])
+        assert cost == 0.0
+        assert bank.stats.ownership_switches == 0
+
+    def test_ownership_switch_costs(self):
+        bank = SRAMBank(64, owner=Owner.HOST, switch_cost_us=2.0)
+        _, cost = bank.read(Owner.FPGA, 0, 1)
+        assert cost == 2.0
+        assert bank.owner is Owner.FPGA
+        assert bank.stats.ownership_switches == 1
+
+    def test_ping_pong_accumulates_switch_time(self):
+        bank = SRAMBank(64, switch_cost_us=1.5)
+        for _ in range(4):
+            bank.write(Owner.HOST, 0, [1])
+            bank.read(Owner.FPGA, 0, 1)
+        # HOST starts as owner: 7 switches (first write free).
+        assert bank.stats.ownership_switches == 7
+        assert bank.stats.switch_time_us == pytest.approx(10.5)
+
+    def test_range_checks(self):
+        bank = SRAMBank(4)
+        with pytest.raises(IndexError):
+            bank.write(Owner.HOST, 3, [1, 2])
+        with pytest.raises(IndexError):
+            bank.read(Owner.HOST, -1)
+
+    def test_word_masking(self):
+        bank = SRAMBank(4)
+        bank.write(Owner.HOST, 0, [1 << 33])
+        values, _ = bank.read(Owner.HOST, 0)
+        assert values == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRAMBank(0)
+        with pytest.raises(ValueError):
+            SRAMBank(4, switch_cost_us=-1)
+
+
+class TestBankedSRAM:
+    def test_default_two_banks(self):
+        sram = BankedSRAM()
+        assert len(sram.banks) == 2
+
+    def test_totals_aggregate(self):
+        sram = BankedSRAM(n_banks=2, switch_cost_us=1.0)
+        sram.bank(0).read(Owner.FPGA, 0, 1)
+        sram.bank(1).read(Owner.FPGA, 0, 1)
+        assert sram.total_switches == 2
+        assert sram.total_switch_time_us == 2.0
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            BankedSRAM(n_banks=0)
+
+
+class TestPCIBus:
+    def test_pio_cost_linear(self):
+        bus = PCIBus(PCIConfig(pio_word_cost_us=0.5))
+        assert bus.pio_time_us(10) == pytest.approx(5.0)
+
+    def test_dma_setup_plus_stream(self):
+        bus = PCIBus(
+            PCIConfig(dma_setup_cost_us=2.0, burst_bandwidth_mbps=100.0)
+        )
+        # 250 words = 1000 bytes -> 10 us streaming + 2 us setup.
+        assert bus.dma_time_us(250) == pytest.approx(12.0)
+
+    def test_dma_zero_words_free(self):
+        assert PCIBus().dma_time_us(0) == 0.0
+
+    def test_best_mode_crossover(self):
+        bus = PCIBus()
+        assert bus.best_mode(1) == "pio"
+        assert bus.best_mode(10_000) == "dma"
+
+    def test_transfer_accounting(self):
+        bus = PCIBus()
+        bus.transfer(4, "pio")
+        bus.transfer(1000, "dma")
+        assert bus.total_words == 1004
+        assert len(bus.transfers) == 2
+        assert bus.transfers[0].mode == "pio"
+        assert bus.total_time_us == pytest.approx(
+            bus.pio_time_us(4) + bus.dma_time_us(1000)
+        )
+
+    def test_arrival_time_packing(self):
+        bus = PCIBus()
+        t = bus.push_arrival_times(7, "pio")  # 7 offsets -> 4 words
+        assert t == pytest.approx(bus.pio_time_us(4))
+
+    def test_stream_id_packing(self):
+        bus = PCIBus()
+        t = bus.read_stream_ids(5, "pio")  # 5 ids -> 2 words
+        assert t == pytest.approx(bus.pio_time_us(2))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PCIBus().transfer(1, "carrier-pigeon")
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            PCIBus().pio_time_us(-1)
+
+
+class TestLink:
+    def test_packet_times_match_paper(self):
+        # "the Ethernet frame time on a 10 Gigabit link ranges from
+        # approximately 0.05 us (64 byte) to 1.2 us (1500 byte)"
+        assert TEN_GIGABIT.packet_time_us(64) == pytest.approx(0.0512)
+        assert TEN_GIGABIT.packet_time_us(1500) == pytest.approx(1.2)
+        # "1 Gbps link for 1500-byte frames (12 us) ... 64-byte (500ns)"
+        assert GIGABIT.packet_time_us(1500) == pytest.approx(12.0)
+        assert GIGABIT.packet_time_us(64) == pytest.approx(0.512)
+
+    def test_pps(self):
+        assert GIGABIT.packets_per_second(1500) == pytest.approx(83_333.3, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("bad", 0)
+        with pytest.raises(ValueError):
+            GIGABIT.packet_time_us(0)
+
+
+class TestTxPort:
+    def test_serializes_frames(self):
+        sim = Simulator()
+        port = TxPort(sim, Link("test", 8e6))  # 1 byte/us
+        t1 = port.transmit("a", 100)
+        t2 = port.transmit("b", 50)
+        assert t1 == pytest.approx(100.0)
+        assert t2 == pytest.approx(150.0)
+
+    def test_completion_callbacks(self):
+        sim = Simulator()
+        port = TxPort(sim, Link("test", 8e6))
+        done = []
+        port.transmit("a", 10, on_done=lambda f, t: done.append((f, t)))
+        sim.run()
+        assert done == [("a", 10.0)]
+
+    def test_idle_gap_restarts_clock(self):
+        sim = Simulator()
+        port = TxPort(sim, Link("test", 8e6))
+        port.transmit("a", 10)
+        sim.schedule(90.0, lambda: None)
+        sim.run()
+        # The wire went idle at t=10; a frame at t=90 starts immediately.
+        t = port.transmit("b", 10)
+        assert t == pytest.approx(100.0)
+
+    def test_counters_and_utilization(self):
+        sim = Simulator()
+        port = TxPort(sim, Link("test", 8e6))
+        port.transmit("a", 100, on_done=lambda f, t: None)
+        sim.run()  # advances the clock to the frame's finish time
+        assert port.frames_sent == 1
+        assert port.bytes_sent == 100
+        assert port.utilization_until_now == pytest.approx(1.0)

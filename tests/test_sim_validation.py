@@ -1,0 +1,85 @@
+"""Queueing-theory validation of the DES substrate.
+
+Drives the simulator + TxPort with textbook arrival processes and
+checks the measured delays against closed-form results — the kind of
+substrate validation that gives the endsystem numbers credibility.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.nic import Link, TxPort
+from repro.traffic.generators import cbr_arrivals, poisson_arrivals
+
+
+def _run_queue(arrivals_us, service_us):
+    """Single-server FIFO queue on the TxPort; returns waits (us)."""
+    sim = Simulator()
+    # Link rate chosen so service_us == packet_time(1000 bytes).
+    link = Link("svc", 1000 * 8 / service_us * 1e6)
+    port = TxPort(sim, link)
+    waits = []
+
+    def arrive(t):
+        start = max(sim.now, port.busy_until)
+        waits.append(start - t)
+        port.transmit("pkt", 1000)
+
+    for t in arrivals_us:
+        sim.schedule_at(float(t), arrive, float(t))
+    sim.run()
+    return np.asarray(waits)
+
+
+class TestMD1:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_md1_mean_wait(self, rho):
+        """Poisson arrivals, deterministic service: W = rho*s/(2(1-rho))."""
+        service = 10.0  # us
+        rate_pps = rho / service * 1e6
+        arrivals = poisson_arrivals(60_000, rate_pps, rng=42)
+        waits = _run_queue(arrivals, service)
+        analytic = rho * service / (2 * (1 - rho))
+        measured = waits.mean()
+        assert measured == pytest.approx(analytic, rel=0.08)
+
+
+class TestDD1:
+    def test_dd1_no_queueing_below_capacity(self):
+        """Deterministic arrivals slower than service never wait."""
+        arrivals = cbr_arrivals(5000, rate_pps=50_000.0)  # every 20us
+        waits = _run_queue(arrivals, 10.0)
+        assert waits.max() == pytest.approx(0.0)
+
+    def test_dd1_overload_grows_linearly(self):
+        """Deterministic overload: wait of packet n ~= n * (s - gap)."""
+        arrivals = cbr_arrivals(2000, rate_pps=200_000.0)  # every 5us
+        waits = _run_queue(arrivals, 10.0)
+        n = np.arange(len(waits))
+        expected = n * 5.0
+        assert np.allclose(waits, expected, atol=1e-6)
+
+
+class TestLittlesLaw:
+    def test_l_equals_lambda_w(self):
+        """L = lambda * W on the measured sample path (rho = 0.5)."""
+        service = 10.0
+        rate_pps = 0.5 / service * 1e6
+        arrivals = poisson_arrivals(40_000, rate_pps, rng=7)
+        waits = _run_queue(arrivals, service)
+        horizon = arrivals[-1]
+        lam = len(arrivals) / horizon  # per us
+        w = waits.mean() + service  # sojourn
+        # Time-average number in system via event integration.
+        departures = arrivals + waits + service
+        times = np.sort(np.concatenate([arrivals, departures]))
+        in_system = np.zeros(len(times))
+        events = np.concatenate(
+            [np.ones(len(arrivals)), -np.ones(len(departures))]
+        )
+        order = np.argsort(np.concatenate([arrivals, departures]), kind="stable")
+        counts = np.cumsum(events[order])
+        dt = np.diff(times)
+        l_measured = float((counts[:-1] * dt).sum() / (times[-1] - times[0]))
+        assert l_measured == pytest.approx(lam * w, rel=0.05)

@@ -1,0 +1,120 @@
+"""Tests for traffic generators and workload specs."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.attributes import SchedulingMode
+from repro.traffic import (
+    EndsystemStreamSpec,
+    backlogged_arrivals,
+    burst_arrivals,
+    cbr_arrivals,
+    periods_for_shares,
+    poisson_arrivals,
+    ratio_workload,
+)
+
+
+class TestCBR:
+    def test_uniform_spacing(self):
+        a = cbr_arrivals(5, rate_pps=1e6)  # 1 us apart
+        assert np.allclose(np.diff(a), 1.0)
+
+    def test_start_offset(self):
+        a = cbr_arrivals(3, rate_pps=1e6, start_us=100.0)
+        assert a[0] == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cbr_arrivals(-1, 1.0)
+        with pytest.raises(ValueError):
+            cbr_arrivals(5, 0.0)
+
+
+class TestBurst:
+    def test_gap_after_each_burst(self):
+        a = burst_arrivals(
+            8, burst_size=4, intra_rate_pps=1e6, inter_burst_gap_us=100.0
+        )
+        gaps = np.diff(a)
+        assert np.allclose(gaps[:3], 1.0)
+        assert gaps[3] == pytest.approx(101.0)
+        assert np.allclose(gaps[4:], 1.0)
+
+    def test_monotone_nondecreasing(self):
+        a = burst_arrivals(
+            100, burst_size=7, intra_rate_pps=5e5, inter_burst_gap_us=999.0
+        )
+        assert np.all(np.diff(a) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_arrivals(4, burst_size=0, intra_rate_pps=1.0, inter_burst_gap_us=1.0)
+        with pytest.raises(ValueError):
+            burst_arrivals(4, burst_size=2, intra_rate_pps=1.0, inter_burst_gap_us=-1.0)
+
+
+class TestPoisson:
+    def test_deterministic_with_seed(self):
+        a = poisson_arrivals(100, 1000.0, rng=42)
+        b = poisson_arrivals(100, 1000.0, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_mean_rate_roughly_matches(self):
+        a = poisson_arrivals(20_000, 1000.0, rng=7)
+        measured = len(a) / (a[-1] - a[0]) * 1e6
+        assert measured == pytest.approx(1000.0, rel=0.05)
+
+    def test_strictly_increasing(self):
+        a = poisson_arrivals(1000, 50.0, rng=3)
+        assert np.all(np.diff(a) > 0)
+
+
+class TestBacklogged:
+    def test_all_at_start(self):
+        a = backlogged_arrivals(10, start_us=5.0)
+        assert np.all(a == 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backlogged_arrivals(-1)
+
+
+class TestSpecs:
+    def test_ratio_workload_shapes(self):
+        specs = ratio_workload((1, 1, 2, 4), frames_per_stream=100)
+        assert [s.sid for s in specs] == [0, 1, 2, 3]
+        assert [s.share for s in specs] == [1.0, 1.0, 2.0, 4.0]
+        assert all(s.n_frames == 100 for s in specs)
+        assert all(s.mode is SchedulingMode.FAIR_SHARE for s in specs)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            EndsystemStreamSpec(sid=0, share=0.0)
+        with pytest.raises(ValueError):
+            EndsystemStreamSpec(sid=0, frame_bytes=0)
+
+    def test_periods_for_shares_paper_ratio(self):
+        assert periods_for_shares([1, 1, 2, 4]) == [4, 4, 2, 1]
+
+    def test_periods_inverse_proportionality(self):
+        periods = periods_for_shares([1, 2, 3])
+        products = [p * s for p, s in zip(periods, [1, 2, 3])]
+        assert len(set(products)) == 1
+
+    def test_periods_validation(self):
+        with pytest.raises(ValueError):
+            periods_for_shares([0.0, 1.0])
+
+    @given(
+        shares=st.lists(
+            st.sampled_from([1, 2, 3, 4, 5, 8]), min_size=1, max_size=6
+        )
+    )
+    def test_periods_property(self, shares):
+        periods = periods_for_shares([float(s) for s in shares])
+        assert all(isinstance(p, int) and p >= 1 for p in periods)
+        products = {p * s for p, s in zip(periods, shares)}
+        assert len(products) == 1

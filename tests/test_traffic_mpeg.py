@@ -1,0 +1,80 @@
+"""Tests for the MPEG-like workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.mpeg import GoPPattern, mpeg_frame_sizes, mpeg_stream
+
+
+class TestGoPPattern:
+    def test_defaults(self):
+        p = GoPPattern()
+        assert p.structure.startswith("I")
+        assert p.nominal("I") > p.nominal("P") > p.nominal("B")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"structure": ""},
+            {"structure": "IXP"},
+            {"i_bytes": 0},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GoPPattern(**kwargs)
+
+
+class TestFrameSizes:
+    def test_deterministic_with_seed(self):
+        a = mpeg_frame_sizes(100, rng=1)
+        b = mpeg_frame_sizes(100, rng=1)
+        assert np.array_equal(a, b)
+
+    def test_gop_structure_visible(self):
+        p = GoPPattern(jitter=0.0)
+        sizes = mpeg_frame_sizes(24, p)
+        assert sizes[0] == p.i_bytes
+        assert sizes[12] == p.i_bytes  # next GoP
+        assert sizes[1] == p.b_bytes
+        assert sizes[3] == p.p_bytes
+
+    def test_jitter_bounded(self):
+        p = GoPPattern(jitter=0.15)
+        sizes = mpeg_frame_sizes(1200, p, rng=3)
+        i_frames = sizes[::12]
+        assert np.all(i_frames >= p.i_bytes * 0.85 - 1)
+        assert np.all(i_frames <= p.i_bytes * 1.15 + 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            mpeg_frame_sizes(-1)
+
+
+class TestStream:
+    def test_cadence(self):
+        arrivals, sizes = mpeg_stream(30, fps=30.0, rng=0)
+        assert len(arrivals) == len(sizes) == 30
+        assert np.allclose(np.diff(arrivals), 1e6 / 30.0)
+
+    def test_bitrate_plausible(self):
+        # Default GoP at 30fps lands in the single-digit Mbit/s range
+        # of standard-definition MPEG-2.
+        arrivals, sizes = mpeg_stream(300, fps=30.0, rng=0)
+        seconds = (arrivals[-1] - arrivals[0]) / 1e6
+        mbps = sizes[:-1].sum() * 8 / seconds / 1e6
+        assert 2.0 < mbps < 20.0
+
+    def test_fps_validation(self):
+        with pytest.raises(ValueError):
+            mpeg_stream(10, fps=0.0)
+
+    def test_scheduling_rate_framework_point(self):
+        # Figure 1's point: media frames need a tiny scheduling rate.
+        from repro.framework import required_rate_dps
+
+        # ~20 KB mean frame at 30 fps on a 100 Mb/s link.
+        rate = required_rate_dps(8, 20_000, 1e8)
+        assert rate < 1_000  # hundreds of decisions/s, not millions
