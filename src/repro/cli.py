@@ -69,9 +69,9 @@ def _cmd_table3(args) -> None:
     from repro.experiments.table3 import run_block, run_max_finding
 
     frames = args.frames or 16_000
-    mf = run_max_finding(frames)
-    bmax = run_block(BlockMode.MAX_FIRST, frames)
-    bmin = run_block(BlockMode.MIN_FIRST, frames)
+    mf = run_max_finding(frames, engine=args.engine)
+    bmax = run_block(BlockMode.MAX_FIRST, frames, engine=args.engine)
+    bmin = run_block(BlockMode.MIN_FIRST, frames, engine=args.engine)
     rows = []
     for i in range(4):
         rows.append(
@@ -160,7 +160,7 @@ def _cmd_figure7(args) -> None:
 def _cmd_figure8(args) -> None:
     from repro.experiments.figure8 import run_figure8
 
-    result = run_figure8(args.frames or 16_000)
+    result = run_figure8(args.frames or 16_000, engine=args.engine)
     print(
         render_table(
             ["stream", "steady MBps", "ratio"],
@@ -176,7 +176,9 @@ def _cmd_figure8(args) -> None:
 def _cmd_figure9(args) -> None:
     from repro.experiments.figure9 import run_figure9
 
-    result = run_figure9(n_bursts=3, burst_size=args.frames or 4000)
+    result = run_figure9(
+        n_bursts=3, burst_size=args.frames or 4000, engine=args.engine
+    )
     delays = result.mean_delays_us()
     print(
         render_table(
@@ -209,7 +211,7 @@ def _cmd_figure9(args) -> None:
 def _cmd_figure10(args) -> None:
     from repro.experiments.figure10 import run_figure10
 
-    result = run_figure10(args.frames or 16_000)
+    result = run_figure10(args.frames or 16_000, engine=args.engine)
     print(
         render_table(
             ["slot/set", "streamlet MBps"],
@@ -308,7 +310,7 @@ def _cmd_verilog(args) -> None:
 def _cmd_isolation(args) -> None:
     from repro.experiments.isolation import run_isolation
 
-    results = run_isolation(horizon=args.frames or 4000)
+    results = run_isolation(horizon=args.frames or 4000, engine=args.engine)
     print(
         render_table(
             ["system", "queues", "rt miss rate", "tight-flow p99 delay"],
@@ -367,6 +369,13 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=4,
         help="stream-slot count (verilog generation)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("reference", "batch"),
+        default="reference",
+        help="scheduler engine: cycle-level object model (oracle) or "
+        "the vectorized batch engine (fast path, cross-validated)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":

@@ -14,6 +14,12 @@ from repro.core.attributes import (
     pack_attributes,
     unpack_attributes,
 )
+from repro.core.batch_engine import (
+    BatchScheduler,
+    BatchSlotView,
+    PeriodicRunResult,
+    make_scheduler,
+)
 from repro.core.config import ArchConfig, BlockMode, Routing
 from repro.core.control import ControlState, ControlUnit, TimelineEntry
 from repro.core.decision_block import DecisionBlock, DecisionResult
@@ -43,6 +49,8 @@ from repro.core.tag_mapping import ServiceTagFrontend, TaggedStream
 __all__ = [
     "ATTRIBUTE_WORD_BITS",
     "ArchConfig",
+    "BatchScheduler",
+    "BatchSlotView",
     "BlockMode",
     "ControlState",
     "ControlUnit",
@@ -53,6 +61,7 @@ __all__ = [
     "MAX_STREAM_SLOTS",
     "NetworkResult",
     "PendingPacket",
+    "PeriodicRunResult",
     "RegisterBaseBlock",
     "Routing",
     "Rule",
@@ -68,6 +77,7 @@ __all__ = [
     "compare",
     "emit_verilog",
     "evaluate",
+    "make_scheduler",
     "ordering_key",
     "pack_attributes",
     "perfect_shuffle",

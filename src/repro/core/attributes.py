@@ -101,6 +101,11 @@ class StreamConfig:
         Deadline assigned to the first packet.
     mode:
         Scheduling mode mapped onto the slot; see :class:`SchedulingMode`.
+    extended:
+        Allow stream IDs beyond the 5-bit single-chip wire field, for
+        ideal-arithmetic multi-chip studies (pairs with
+        ``ArchConfig(extended=True)``).  Such bundles cannot be packed
+        onto the 54-bit wire word.
     """
 
     sid: int
@@ -109,9 +114,14 @@ class StreamConfig:
     loss_denominator: int = 0
     initial_deadline: int = 0
     mode: SchedulingMode = SchedulingMode.DWCS
+    extended: bool = False
 
     def __post_init__(self) -> None:
-        STREAM_ID_FIELD.check(self.sid)
+        if self.extended:
+            if self.sid < 0:
+                raise ValueError(f"sid must be non-negative, got {self.sid}")
+        else:
+            STREAM_ID_FIELD.check(self.sid)
         LOSS_NUM_FIELD.check(self.loss_numerator)
         LOSS_DEN_FIELD.check(self.loss_denominator)
         DEADLINE_FIELD.check(self.initial_deadline)
@@ -150,12 +160,15 @@ class HardwareAttributes:
     mode: SchedulingMode = field(default=SchedulingMode.DWCS)
 
     def __post_init__(self) -> None:
-        # Only the identity and window fields are hard 5/8-bit hardware
-        # quantities everywhere; deadline/arrival may exceed 16 bits in
-        # the *ideal-arithmetic* mode (wrap=False), so their width is
-        # enforced at the wire boundary (:func:`pack_attributes`) and
-        # by the register blocks when wrapping is on.
-        STREAM_ID_FIELD.check(self.sid)
+        # Only the window fields are hard 8-bit hardware quantities
+        # everywhere; deadline/arrival may exceed 16 bits in the
+        # *ideal-arithmetic* mode (wrap=False), and the stream ID may
+        # exceed 5 bits in extended (multi-chip) configurations, so
+        # their widths are enforced at the wire boundary
+        # (:func:`pack_attributes`) and by the register blocks when
+        # wrapping is on.
+        if self.sid < 0:
+            raise ValueError(f"sid must be non-negative, got {self.sid}")
         LOSS_NUM_FIELD.check(self.loss_numerator)
         LOSS_DEN_FIELD.check(self.loss_denominator)
         if self.deadline < 0 or self.arrival < 0:

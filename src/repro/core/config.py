@@ -68,6 +68,13 @@ class ArchConfig:
     clock_mhz:
         Nominal FPGA clock for converting cycles to time; the hwmodel
         provides calibrated values per (n_slots, routing).
+    extended:
+        Lift the single-chip 32-slot cap (the 5-bit stream-ID wire
+        field) for ideal-arithmetic studies of multi-chip scale.  The
+        behavioral network and the batch engine both handle arbitrary
+        power-of-two widths; the wire-format constraint is still
+        enforced at the pack boundary
+        (:func:`repro.core.attributes.pack_attributes`).
     """
 
     n_slots: int
@@ -78,12 +85,15 @@ class ArchConfig:
     deadline_only: bool = False
     compute_ahead: bool = False
     clock_mhz: float = 66.0
+    extended: bool = False
 
     def __post_init__(self) -> None:
-        if not is_pow2(self.n_slots) or not 2 <= self.n_slots <= MAX_STREAM_SLOTS:
+        cap_ok = self.extended or self.n_slots <= MAX_STREAM_SLOTS
+        if not is_pow2(self.n_slots) or self.n_slots < 2 or not cap_ok:
             raise ValueError(
                 "n_slots must be a power of two in "
-                f"[2, {MAX_STREAM_SLOTS}], got {self.n_slots}"
+                f"[2, {MAX_STREAM_SLOTS}], got {self.n_slots} "
+                "(pass extended=True for beyond-single-chip studies)"
             )
         if self.schedule not in ("paper", "bitonic"):
             raise ValueError(f"unknown schedule {self.schedule!r}")

@@ -1,20 +1,21 @@
-"""Vectorized batch simulator for large-scale scheduling runs.
+"""Legacy fast-simulation entry points (thin batch-engine wrappers).
 
-The cycle-level object model (:mod:`repro.core.scheduler`) is the
-reference; at 64000-cycle experiment scale it costs seconds per run.
-This module provides a NumPy formulation of the two workloads the big
-experiments repeat millions of times:
+Historically this module carried two special-cased NumPy loops for the
+Table 3 workloads.  Both are now thin wrappers over the general
+vectorized engine (:class:`repro.core.batch_engine.BatchScheduler`),
+whose :meth:`~repro.core.batch_engine.BatchScheduler.run_periodic`
+subsumes them: the same periodic request feed, parameterized over slot
+count, routing, block mode and discipline, cross-validated cycle by
+cycle against the object model in ``tests/test_differential_engines.py``.
+
+The entry points and their :class:`FastRunResult` shape are preserved
+so existing callers (``tests/test_core_fast_sim.py``, benchmark
+harnesses) keep working unchanged:
 
 * :func:`simulate_max_finding` — EDF max-finding over per-slot
   self-advancing request streams (Table 3's first configuration);
 * :func:`simulate_block_max_first` — block scheduling with the EDF
   winner bias rotation (Table 3's second configuration).
-
-Both run whole decision loops in a few array operations per cycle and
-are **cross-validated against the object model** in
-``tests/test_core_fast_sim.py`` — the guides' profile-first discipline:
-the hot loop got a vectorized twin instead of complicating the
-reference implementation.
 """
 
 from __future__ import annotations
@@ -22,6 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.batch_engine import BatchScheduler
+from repro.core.config import ArchConfig, BlockMode, Routing
 
 __all__ = [
     "FastRunResult",
@@ -39,6 +44,33 @@ class FastRunResult:
     wins: np.ndarray  # per-stream circulated-winner counts
     misses: np.ndarray  # per-stream missed-deadline registrations
     frames_scheduled: int
+
+
+def _build(n_streams: int, routing: Routing, block_mode: BlockMode) -> BatchScheduler:
+    """Batch engine sized for ``n_streams`` EDF slots (T_i = 1).
+
+    The architecture wants a power-of-two slot count; extra slots stay
+    unloaded and never enter the sort.
+    """
+    n_slots = max(2, 1 << (n_streams - 1).bit_length())
+    arch = ArchConfig(
+        n_slots=n_slots,
+        routing=routing,
+        block_mode=block_mode,
+        wrap=False,  # these runs exceed the 16-bit horizon
+        extended=n_slots > 32,
+    )
+    streams = [
+        StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+        for i in range(n_streams)
+    ]
+    return BatchScheduler(arch, streams)
+
+
+def _pad(offsets: np.ndarray, n_slots: int) -> np.ndarray:
+    padded = np.zeros(n_slots, dtype=np.int64)
+    padded[: offsets.shape[0]] = offsets
+    return padded
 
 
 def simulate_max_finding(
@@ -60,36 +92,20 @@ def simulate_max_finding(
         offsets = np.asarray(initial_offsets, dtype=np.int64)
         if offsets.shape != (n_streams,):
             raise ValueError("initial_offsets shape mismatch")
-    serviced = np.zeros(n_streams, dtype=np.int64)
-    bias = np.zeros(n_streams, dtype=np.int64)
-    wins = np.zeros(n_streams, dtype=np.int64)
-    misses = np.zeros(n_streams, dtype=np.int64)
-    sid = np.arange(n_streams, dtype=np.int64)
-    # Lexicographic tie-break mirroring Table 2: deadline key, then
-    # FCFS on the head's arrival (its request index), then stream id.
-    arrival_scale = np.int64(n_cycles + 2)
-    for t in range(n_cycles):
-        # Heads exist whenever serviced_i <= t (one arrival per cycle).
-        valid = serviced <= t
-        real_deadline = offsets + serviced
-        keys = real_deadline + bias
-        combined = (keys * arrival_scale + serviced) * n_streams + sid
-        combined = np.where(valid, combined, np.iinfo(np.int64).max)
-        winner = int(np.argmin(combined))
-        # Miss registration: any valid late head (real deadline < t).
-        late = valid & (real_deadline < t)
-        misses[late] += 1
-        # Winner update: EDF bias only when the head was on time.
-        if not late[winner]:
-            bias[winner] += 1
-        serviced[winner] += 1
-        wins[winner] += 1
+    engine = _build(n_streams, Routing.WR, BlockMode.MAX_FIRST)
+    res = engine.run_periodic(
+        n_cycles,
+        offsets=_pad(offsets, engine.config.n_slots),
+        step=1,
+        consume="winner",
+        count_misses=True,
+    )
     return FastRunResult(
         n_streams=n_streams,
         decision_cycles=n_cycles,
-        wins=wins,
-        misses=misses,
-        frames_scheduled=int(serviced.sum()),
+        wins=res.wins[:n_streams],
+        misses=res.misses[:n_streams],
+        frames_scheduled=res.frames_scheduled,
     )
 
 
@@ -110,20 +126,20 @@ def simulate_block_max_first(
         offsets = np.arange(1, n_streams + 1, dtype=np.int64)
     else:
         offsets = np.asarray(initial_offsets, dtype=np.int64)
-    bias = np.zeros(n_streams, dtype=np.int64)
-    wins = np.zeros(n_streams, dtype=np.int64)
-    misses = np.zeros(n_streams, dtype=np.int64)
-    for c in range(n_cycles):
-        real_deadline = offsets + c
-        keys = real_deadline + bias
-        winner = int(np.argmin(keys))
-        misses[real_deadline < c] += 1
-        bias[winner] += 1
-        wins[winner] += 1
+        if offsets.shape != (n_streams,):
+            raise ValueError("initial_offsets shape mismatch")
+    engine = _build(n_streams, Routing.BA, BlockMode.MAX_FIRST)
+    res = engine.run_periodic(
+        n_cycles,
+        offsets=_pad(offsets, engine.config.n_slots),
+        step=1,
+        consume="block",
+        count_misses=True,
+    )
     return FastRunResult(
         n_streams=n_streams,
         decision_cycles=n_cycles,
-        wins=wins,
-        misses=misses,
-        frames_scheduled=n_streams * n_cycles,
+        wins=res.wins[:n_streams],
+        misses=res.misses[:n_streams],
+        frames_scheduled=res.frames_scheduled,
     )

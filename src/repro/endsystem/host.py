@@ -25,6 +25,7 @@ from fractions import Fraction
 from typing import Callable
 
 from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.batch_engine import BatchScheduler, make_scheduler
 from repro.core.config import ArchConfig, Routing
 from repro.core.scheduler import ShareStreamsScheduler
 from repro.endsystem.queue_manager import Frame, QueueManager
@@ -61,6 +62,11 @@ class EndsystemConfig:
     peer DMA cost — the forward-looking configuration Section 5.2
     anticipates (e.g. a network processor on the PCI bus exchanging
     directly with the FPGA card).
+
+    ``engine`` selects the scheduler implementation: ``"reference"``
+    (the cycle-level object model, the oracle) or ``"batch"`` (the
+    vectorized engine, behaviorally identical — cross-validated by
+    :mod:`repro.core.differential`).
     """
 
     link: Link = PLAYOUT_LINK_128M
@@ -73,6 +79,7 @@ class EndsystemConfig:
     n_slots: int = 4
     routing: Routing = Routing.WR
     sram_switch_cost_us: float = 1.0
+    engine: str = "reference"
 
     @property
     def transfer_cost_us(self) -> float:
@@ -94,7 +101,7 @@ class EndsystemResult:
     te: TransmissionEngine
     pci: PCIBus
     sram: BankedSRAM
-    scheduler: ShareStreamsScheduler
+    scheduler: ShareStreamsScheduler | BatchScheduler
 
     @property
     def throughput_pps(self) -> float:
@@ -155,7 +162,9 @@ class EndsystemRouter:
             )
             for spec in specs
         ]
-        self.scheduler = ShareStreamsScheduler(arch, streams)
+        self.scheduler = make_scheduler(
+            arch, streams, engine=self.config.engine
+        )
         self.streaming = StreamingUnit(
             self.qm,
             self.scheduler,

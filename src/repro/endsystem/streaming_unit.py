@@ -16,6 +16,7 @@ encoding), and accounts the PCI cost of each batch on the
 
 from __future__ import annotations
 
+from repro.core.batch_engine import BatchScheduler
 from repro.core.scheduler import ShareStreamsScheduler
 from repro.endsystem.queue_manager import QueueManager
 from repro.sim.pci import PCIBus
@@ -30,7 +31,8 @@ class StreamingUnit:
     Parameters
     ----------
     qm, scheduler:
-        The host-side queues and the card-side scheduler.
+        The host-side queues and the card-side scheduler (either
+        engine: the object model or the vectorized batch engine).
     periods:
         Per-stream virtual request periods (deadline spacing); derived
         from shares by the host setup.
@@ -48,7 +50,7 @@ class StreamingUnit:
     def __init__(
         self,
         qm: QueueManager,
-        scheduler: ShareStreamsScheduler,
+        scheduler: ShareStreamsScheduler | BatchScheduler,
         periods: dict[int, int],
         *,
         pci: PCIBus | None = None,

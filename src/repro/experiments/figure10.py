@@ -83,6 +83,7 @@ def run_figure10(
     frames_per_stream: int = 64_000,
     *,
     streamlets_per_slot: int = STREAMLETS_PER_SLOT,
+    engine: str = "reference",
 ) -> Figure10Result:
     """Run the aggregation experiment.
 
@@ -109,7 +110,7 @@ def run_figure10(
 
     specs = ratio_workload(RATIOS, frames_per_stream=frames_per_stream)
     router = EndsystemRouter(
-        specs, EndsystemConfig(), on_departure=on_departure
+        specs, EndsystemConfig(engine=engine), on_departure=on_departure
     )
     run = router.run(preload=True)
     # Streamlet bandwidth is meaningful over the saturated phase; use

@@ -43,6 +43,7 @@ def run_figure8(
     frames_per_stream: int = FRAMES_PER_STREAM,
     *,
     window_us: float | None = None,
+    engine: str = "reference",
 ) -> Figure8Result:
     """Run the Figure 8 workload and reduce to bandwidth series.
 
@@ -53,7 +54,7 @@ def run_figure8(
     still land whole windows inside the saturated phase.
     """
     specs = ratio_workload(RATIOS, frames_per_stream=frames_per_stream)
-    router = EndsystemRouter(specs, EndsystemConfig())
+    router = EndsystemRouter(specs, EndsystemConfig(engine=engine))
     run = router.run(preload=True)
     # Saturated phase: until the highest-share stream drains;
     # conservatively the first quarter of the run.

@@ -62,6 +62,7 @@ def run_figure9(
     burst_size: int = 4000,
     inter_burst_gap_ms: float | None = None,
     offered_rate_pps: float = 16_000.0,
+    engine: str = "reference",
 ) -> Figure9Result:
     """Run the bursty-arrival delay experiment.
 
@@ -98,7 +99,7 @@ def run_figure9(
                 ),
             )
         )
-    router = EndsystemRouter(specs, EndsystemConfig())
+    router = EndsystemRouter(specs, EndsystemConfig(engine=engine))
     run = router.run(preload=False)
     series = {
         sid: run.te.delay.series(sid) for sid in run.te.delay.stream_ids

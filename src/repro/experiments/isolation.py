@@ -36,8 +36,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.batch_engine import make_scheduler
 from repro.core.config import ArchConfig, Routing
-from repro.core.scheduler import ShareStreamsScheduler
 from repro.disciplines.base import Packet
 from repro.disciplines.red import REDQueue
 
@@ -97,7 +97,7 @@ def _p99(delays: list[float]) -> float:
 
 
 def _run_sharestreams(
-    horizon: int, rt, be, periods, n_be: int
+    horizon: int, rt, be, periods, n_be: int, engine: str = "reference"
 ) -> IsolationResult:
     """Per-flow slots: deadline ordering via DWCS(0,0) attributes."""
     n_rt = len(periods)
@@ -107,7 +107,7 @@ def _run_sharestreams(
         for i in range(n_rt + n_be)
     ]
     arch = ArchConfig(n_slots=32, routing=Routing.WR, wrap=False)
-    scheduler = ShareStreamsScheduler(arch, streams)
+    scheduler = make_scheduler(arch, streams, engine=engine)
     rt_iter, be_iter = 0, 0
     late = 0
     be_served = 0
@@ -290,12 +290,18 @@ def run_isolation(
     rt_periods: tuple[int, ...] = (8, 8, 12, 12, 16, 16, 20, 20, 24, 24, 32, 32),
     n_be: int = 12,
     seed: int = 11,
+    engine: str = "reference",
 ) -> list[IsolationResult]:
-    """Run all three systems on the same workload."""
+    """Run all three systems on the same workload.
+
+    ``engine`` selects the ShareStreams scheduler implementation
+    (``"reference"`` object model or ``"batch"`` vectorized engine);
+    the peer systems are unaffected.
+    """
     periods = list(rt_periods)
     rt, be = _workload(horizon, periods, n_be, seed)
     return [
-        _run_sharestreams(horizon, rt, be, periods, n_be),
+        _run_sharestreams(horizon, rt, be, periods, n_be, engine),
         _run_gsr(horizon, rt, be, periods, n_be, seed),
         _run_teracross(horizon, rt, be, periods, n_be),
     ]
