@@ -69,9 +69,15 @@ def _cmd_table3(args) -> None:
     from repro.experiments.table3 import run_block, run_max_finding
 
     frames = args.frames or 16_000
-    mf = run_max_finding(frames, engine=args.engine)
-    bmax = run_block(BlockMode.MAX_FIRST, frames, engine=args.engine)
-    bmin = run_block(BlockMode.MIN_FIRST, frames, engine=args.engine)
+    mf = run_max_finding(frames, engine=args.engine, observer=args.observability)
+    bmax = run_block(
+        BlockMode.MAX_FIRST, frames, engine=args.engine,
+        observer=args.observability,
+    )
+    bmin = run_block(
+        BlockMode.MIN_FIRST, frames, engine=args.engine,
+        observer=args.observability,
+    )
     rows = []
     for i in range(4):
         rows.append(
@@ -160,7 +166,10 @@ def _cmd_figure7(args) -> None:
 def _cmd_figure8(args) -> None:
     from repro.experiments.figure8 import run_figure8
 
-    result = run_figure8(args.frames or 16_000, engine=args.engine)
+    result = run_figure8(
+        args.frames or 16_000, engine=args.engine,
+        observer=args.observability,
+    )
     print(
         render_table(
             ["stream", "steady MBps", "ratio"],
@@ -177,7 +186,8 @@ def _cmd_figure9(args) -> None:
     from repro.experiments.figure9 import run_figure9
 
     result = run_figure9(
-        n_bursts=3, burst_size=args.frames or 4000, engine=args.engine
+        n_bursts=3, burst_size=args.frames or 4000, engine=args.engine,
+        observer=args.observability,
     )
     delays = result.mean_delays_us()
     print(
@@ -211,7 +221,10 @@ def _cmd_figure9(args) -> None:
 def _cmd_figure10(args) -> None:
     from repro.experiments.figure10 import run_figure10
 
-    result = run_figure10(args.frames or 16_000, engine=args.engine)
+    result = run_figure10(
+        args.frames or 16_000, engine=args.engine,
+        observer=args.observability,
+    )
     print(
         render_table(
             ["slot/set", "streamlet MBps"],
@@ -310,7 +323,10 @@ def _cmd_verilog(args) -> None:
 def _cmd_isolation(args) -> None:
     from repro.experiments.isolation import run_isolation
 
-    results = run_isolation(horizon=args.frames or 4000, engine=args.engine)
+    results = run_isolation(
+        horizon=args.frames or 4000, engine=args.engine,
+        observer=args.observability,
+    )
     print(
         render_table(
             ["system", "queues", "rt miss rate", "tight-flow p99 delay"],
@@ -327,6 +343,9 @@ def _cmd_isolation(args) -> None:
         )
     )
 
+
+#: Experiments whose drivers accept the telemetry hook.
+_OBSERVABLE = {"table3", "figure8", "figure9", "figure10", "isolation"}
 
 _COMMANDS = {
     "verilog": _cmd_verilog,
@@ -377,12 +396,44 @@ def main(argv: list[str] | None = None) -> int:
         help="scheduler engine: cycle-level object model (oracle) or "
         "the vectorized batch engine (fast path, cross-validated)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the structured decision trace and print its tail "
+        "plus the per-phase profile after the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics registry to PATH "
+        "(.json -> JSON, anything else -> Prometheus text format)",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(_COMMANDS):
             print(name)
         return 0
+    args.observability = None
+    if args.trace or args.metrics_out:
+        if args.experiment not in _OBSERVABLE:
+            parser.error(
+                f"--trace/--metrics-out supported for: "
+                f"{', '.join(sorted(_OBSERVABLE))}"
+            )
+        from repro.observability import Observability
+
+        args.observability = Observability()
     _COMMANDS[args.experiment](args)
+    obs = args.observability
+    if obs is not None:
+        if args.trace:
+            print(obs.render())
+        if args.metrics_out:
+            from repro.metrics.export import write_metrics
+
+            path = write_metrics(args.metrics_out, obs.metrics)
+            print(f"metrics written to {path}")
     return 0
 
 

@@ -56,6 +56,7 @@ from repro.core.fields import (
 )
 from repro.core.register_block import PendingPacket, SlotCounters
 from repro.core.scheduler import DecisionOutcome
+from repro.observability.hooks import resolve_observer
 
 __all__ = [
     "BatchScheduler",
@@ -103,24 +104,34 @@ def make_scheduler(
     engine: str = "reference",
     trace_timeline: bool = False,
     trace=None,
+    observer=None,
 ):
     """Instantiate a scheduler engine by name.
 
     ``engine="reference"`` builds the cycle-level object model (the
     oracle); ``engine="batch"`` builds the vectorized
     :class:`BatchScheduler`.  Both expose the same ``decision_cycle`` /
-    ``enqueue`` / ``slot`` / ``counters`` surface and are asserted
-    behaviorally identical by :mod:`repro.core.differential`.
+    ``enqueue`` / ``slot`` / ``counters`` surface — including the
+    ``observer`` telemetry hook — and are asserted behaviorally
+    identical by :mod:`repro.core.differential`.
     """
     if engine == "reference":
         from repro.core.scheduler import ShareStreamsScheduler
 
         return ShareStreamsScheduler(
-            config, streams, trace_timeline=trace_timeline, trace=trace
+            config,
+            streams,
+            trace_timeline=trace_timeline,
+            trace=trace,
+            observer=observer,
         )
     if engine == "batch":
         return BatchScheduler(
-            config, streams, trace_timeline=trace_timeline, trace=trace
+            config,
+            streams,
+            trace_timeline=trace_timeline,
+            trace=trace,
+            observer=observer,
         )
     raise ValueError(
         f"unknown engine {engine!r} (expected 'reference' or 'batch')"
@@ -190,8 +201,13 @@ class BatchScheduler:
     trace_timeline:
         Record the control FSM timeline (adds per-cycle bookkeeping).
     trace:
-        Optional :class:`repro.sim.trace.TraceLog` receiving "decide" /
-        "miss" / "drop" events, as the reference engine emits them.
+        Optional legacy :class:`repro.observability.TraceLog` receiving
+        "decide" / "miss" / "drop" events, as the reference engine
+        emits them.
+    observer:
+        Telemetry hook receiving every cycle's outcome — same protocol
+        as the reference engine, so traces/metrics are emitted
+        identically by both.
     """
 
     def __init__(
@@ -201,9 +217,11 @@ class BatchScheduler:
         *,
         trace_timeline: bool = False,
         trace=None,
+        observer=None,
     ) -> None:
         self.config = config
         self.trace = trace
+        self.observer = resolve_observer(trace, observer)
         self.trace_timeline = trace_timeline
         self.control = ControlUnit(trace=trace_timeline)
         n = config.n_slots
@@ -635,24 +653,7 @@ class BatchScheduler:
             self.config.update_cycles, detail=f"circulate={circulated}"
         )
 
-        if self.trace is not None:
-            self.trace.emit(
-                float(now),
-                "decide",
-                "decision cycle",
-                winner=circulated,
-                block=tuple(order),
-                serviced=len(serviced),
-            )
-            for sid in misses:
-                self.trace.emit(float(now), "miss", "late head", sid=sid)
-            for sid, packet in dropped:
-                self.trace.emit(
-                    float(now), "drop", "late head shed", sid=sid,
-                    deadline=packet.deadline,
-                )
-
-        return DecisionOutcome(
+        outcome = DecisionOutcome(
             now=now,
             block=tuple(order),
             circulated_sid=circulated,
@@ -661,6 +662,9 @@ class BatchScheduler:
             hw_cycles=passes + self.config.update_cycles,
             dropped=tuple(dropped),
         )
+        if self.observer is not None:
+            self.observer.on_decision(outcome)
+        return outcome
 
     # ------------------------------------------------------------------
     # self-advancing periodic workloads (whole runs, no Python queues)
@@ -793,7 +797,7 @@ class BatchScheduler:
             self.control.priority_update(
                 update_cycles, detail=f"circulate={circulated}"
             )
-        return PeriodicRunResult(
+        result = PeriodicRunResult(
             n_streams=int(loaded.sum()),
             decision_cycles=n_cycles,
             wins=self._wins.copy(),
@@ -802,6 +806,15 @@ class BatchScheduler:
             frames_scheduled=int(self._serviced.sum()),
             winners=winners,
         )
+        # The vectorized whole-run path intentionally emits no
+        # per-cycle events (that would reintroduce the Python loop);
+        # observers that understand run summaries get the final
+        # per-stream counters instead.
+        if self.observer is not None:
+            summary_hook = getattr(self.observer, "on_run_summary", None)
+            if summary_hook is not None:
+                summary_hook(result)
+        return result
 
     # ------------------------------------------------------------------
     # derived metrics

@@ -16,9 +16,17 @@ Scenarios are generated from a single integer seed, so any divergence
 is reproducible from the seed alone — the test harness prints it on
 failure.  See ``docs/ENGINES.md`` for the oracle/fast-path contract.
 
+A second mode turns the observability layer itself into a correctness
+oracle: :func:`cross_validate_traces` attaches a structured
+:class:`~repro.observability.TraceRecorder` to each engine and compares
+the *telemetry event streams* event-by-event (and their canonical byte
+serializations), so the hook wiring, the event flattening and the
+scheduling behavior are all certified together.
+
 Run a standalone campaign with::
 
     PYTHONPATH=src python -m repro.core.differential --count 200
+    PYTHONPATH=src python -m repro.core.differential --count 60 --trace-equivalence
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from repro.core.attributes import SchedulingMode, StreamConfig
 from repro.core.batch_engine import BatchScheduler
 from repro.core.config import ArchConfig, BlockMode, Routing
 from repro.core.scheduler import ShareStreamsScheduler
+from repro.observability.events import TraceRecorder
 
 __all__ = [
     "Scenario",
@@ -40,6 +49,7 @@ __all__ = [
     "build_engine",
     "run_engine",
     "cross_validate",
+    "cross_validate_traces",
     "campaign",
 ]
 
@@ -195,7 +205,7 @@ def generate_scenario(
     )
 
 
-def build_engine(scenario: Scenario, engine: str):
+def build_engine(scenario: Scenario, engine: str, *, observer=None):
     """Instantiate one engine for ``scenario`` (``reference``/``batch``)."""
     config = ArchConfig(
         n_slots=scenario.n_slots,
@@ -206,9 +216,11 @@ def build_engine(scenario: Scenario, engine: str):
         extended=scenario.extended,
     )
     if engine == "reference":
-        return ShareStreamsScheduler(config, list(scenario.streams))
+        return ShareStreamsScheduler(
+            config, list(scenario.streams), observer=observer
+        )
     if engine == "batch":
-        return BatchScheduler(config, list(scenario.streams))
+        return BatchScheduler(config, list(scenario.streams), observer=observer)
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -231,9 +243,9 @@ def _arrival_schedule(scenario: Scenario):
     return schedule
 
 
-def run_engine(scenario: Scenario, engine: str) -> EngineTrace:
+def run_engine(scenario: Scenario, engine: str, *, observer=None) -> EngineTrace:
     """Execute ``scenario`` on one engine, recording every observable."""
-    sched = build_engine(scenario, engine)
+    sched = build_engine(scenario, engine, observer=observer)
     records = []
     for t, (arrivals, drop) in enumerate(_arrival_schedule(scenario)):
         for sid, deadline, arrival in arrivals:
@@ -304,6 +316,37 @@ def cross_validate(scenario: Scenario) -> Divergence | None:
     return None
 
 
+def cross_validate_traces(scenario: Scenario) -> Divergence | None:
+    """Run both engines under telemetry; compare the trace streams.
+
+    Attaches a fresh :class:`~repro.observability.TraceRecorder` to
+    each engine and asserts the structured decision-trace event streams
+    are identical event-by-event *and* byte-identical under canonical
+    serialization — observability as a correctness oracle.  ``None``
+    means no divergence.
+    """
+    ref_rec = TraceRecorder()
+    bat_rec = TraceRecorder()
+    run_engine(scenario, "reference", observer=ref_rec)
+    run_engine(scenario, "batch", observer=bat_rec)
+    ref_events = ref_rec.events()
+    bat_events = bat_rec.events()
+    for i, (r, b) in enumerate(zip(ref_events, bat_events)):
+        if r != b:
+            return Divergence(scenario, i, "trace_event", r, b)
+    if len(ref_events) != len(bat_events):
+        return Divergence(
+            scenario, None, "trace_length", len(ref_events), len(bat_events)
+        )
+    # Event equality implies serialization equality; assert it anyway so
+    # the canonical byte format itself stays deterministic.
+    if ref_rec.serialize() != bat_rec.serialize():
+        return Divergence(
+            scenario, None, "trace_serialization", "<bytes>", "<bytes>"
+        )
+    return None
+
+
 @dataclass(slots=True)
 class CampaignResult:
     """Summary of a differential campaign."""
@@ -320,9 +363,22 @@ class CampaignResult:
 
 
 def campaign(
-    seeds, *, n_cycles: int = 1000, stop_on_divergence: bool = False
+    seeds,
+    *,
+    n_cycles: int = 1000,
+    stop_on_divergence: bool = False,
+    mode: str = "outcome",
 ) -> CampaignResult:
-    """Cross-validate one scenario per seed; aggregate coverage + failures."""
+    """Cross-validate one scenario per seed; aggregate coverage + failures.
+
+    ``mode="outcome"`` compares per-cycle :class:`CycleRecord` streams
+    and final counters (the original harness);
+    ``mode="trace"`` compares the engines' structured telemetry event
+    streams (:func:`cross_validate_traces`).
+    """
+    if mode not in ("outcome", "trace"):
+        raise ValueError(f"unknown campaign mode {mode!r}")
+    validate = cross_validate if mode == "outcome" else cross_validate_traces
     result = CampaignResult()
     for seed in seeds:
         scenario = generate_scenario(seed, n_cycles=n_cycles)
@@ -330,7 +386,7 @@ def campaign(
         result.routings.add(scenario.routing)
         result.block_modes.add(scenario.block_mode)
         result.modes.update(s.mode for s in scenario.streams)
-        divergence = cross_validate(scenario)
+        divergence = validate(scenario)
         if divergence is not None:
             result.divergences.append(divergence)
             if stop_on_divergence:
@@ -345,11 +401,20 @@ def main(argv=None) -> int:  # pragma: no cover - CLI convenience
     parser.add_argument("--count", type=int, default=200)
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--cycles", type=int, default=1000)
+    parser.add_argument(
+        "--trace-equivalence",
+        action="store_true",
+        help="compare structured telemetry event streams instead of "
+        "cycle outcomes (observability as a correctness oracle)",
+    )
     args = parser.parse_args(argv)
     result = campaign(
-        range(args.base_seed, args.base_seed + args.count), n_cycles=args.cycles
+        range(args.base_seed, args.base_seed + args.count),
+        n_cycles=args.cycles,
+        mode="trace" if args.trace_equivalence else "outcome",
     )
     print(
+        f"{'trace' if args.trace_equivalence else 'outcome'} mode: "
         f"{result.scenarios} scenarios, "
         f"{len(result.divergences)} divergences, "
         f"routings={sorted(r.value for r in result.routings)}, "

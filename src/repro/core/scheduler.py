@@ -27,6 +27,7 @@ from repro.core.config import ArchConfig, BlockMode, Routing
 from repro.core.control import ControlUnit
 from repro.core.register_block import PendingPacket, RegisterBaseBlock
 from repro.core.shuffle import ShuffleExchangeNetwork
+from repro.observability.hooks import resolve_observer
 
 __all__ = ["DecisionOutcome", "ShareStreamsScheduler"]
 
@@ -86,6 +87,14 @@ class ShareStreamsScheduler:
         Further streams can be loaded later with :meth:`load_stream`.
     trace_timeline:
         Record the control FSM timeline (Figure 6).
+    trace:
+        Legacy :class:`repro.observability.TraceLog` receiving
+        "decide" / "miss" / "drop" events per decision cycle.
+    observer:
+        Telemetry hook (:class:`repro.observability.DecisionObserver`,
+        e.g. an :class:`repro.observability.Observability`) receiving
+        every cycle's :class:`DecisionOutcome`.  ``None`` disables
+        telemetry at the cost of one ``is not None`` test per cycle.
     """
 
     def __init__(
@@ -95,6 +104,7 @@ class ShareStreamsScheduler:
         *,
         trace_timeline: bool = False,
         trace=None,
+        observer=None,
     ) -> None:
         self.config = config
         self.network = ShuffleExchangeNetwork(
@@ -104,9 +114,10 @@ class ShareStreamsScheduler:
             schedule=config.schedule,
         )
         self.control = ControlUnit(trace=trace_timeline)
-        #: Optional :class:`repro.sim.trace.TraceLog` receiving
-        #: "decide" / "miss" / "drop" events per decision cycle.
+        #: Optional legacy :class:`repro.observability.TraceLog`.
         self.trace = trace
+        #: Resolved telemetry hook (``None`` = telemetry disabled).
+        self.observer = resolve_observer(trace, observer)
         self.slots: list[RegisterBaseBlock | None] = [None] * config.n_slots
         self._idle_bundles = self._make_idle_bundles()
         if streams:
@@ -285,24 +296,7 @@ class ShareStreamsScheduler:
             self.config.update_cycles, detail=f"circulate={circulated}"
         )
 
-        if self.trace is not None:
-            self.trace.emit(
-                float(now),
-                "decide",
-                "decision cycle",
-                winner=circulated,
-                block=tuple(order),
-                serviced=len(serviced),
-            )
-            for sid in misses:
-                self.trace.emit(float(now), "miss", "late head", sid=sid)
-            for sid, packet in dropped:
-                self.trace.emit(
-                    float(now), "drop", "late head shed", sid=sid,
-                    deadline=packet.deadline,
-                )
-
-        return DecisionOutcome(
+        outcome = DecisionOutcome(
             now=now,
             block=tuple(order),
             circulated_sid=circulated,
@@ -311,6 +305,9 @@ class ShareStreamsScheduler:
             hw_cycles=result.passes + self.config.update_cycles,
             dropped=tuple(dropped),
         )
+        if self.observer is not None:
+            self.observer.on_decision(outcome)
+        return outcome
 
     # ------------------------------------------------------------------
     # derived metrics

@@ -125,6 +125,13 @@ class EndsystemRouter:
         Endsystem parameters.
     on_departure:
         Optional ``(sid, frame, departure_us)`` hook (aggregation).
+    observer:
+        Telemetry hook, forwarded to the scheduler engine (per-decision
+        events/metrics).  When it is a full
+        :class:`repro.observability.Observability`, the router
+        additionally profiles its pipeline phases (refill / decide /
+        transmit) and feeds endsystem metrics (frames/bytes
+        transmitted, card-queue depths).  ``None`` disables all of it.
     """
 
     def __init__(
@@ -133,6 +140,7 @@ class EndsystemRouter:
         config: EndsystemConfig | None = None,
         *,
         on_departure: Callable[[int, Frame, float], None] | None = None,
+        observer=None,
     ) -> None:
         self.config = config or EndsystemConfig()
         if len(specs) > self.config.n_slots:
@@ -163,8 +171,26 @@ class EndsystemRouter:
             for spec in specs
         ]
         self.scheduler = make_scheduler(
-            arch, streams, engine=self.config.engine
+            arch, streams, engine=self.config.engine, observer=observer
         )
+        self.observer = observer
+        # Telemetry is duck-typed so a bare TraceRecorder works too;
+        # every helper below is None when disabled (zero overhead).
+        self._phase = getattr(observer, "phase", None)
+        metrics = getattr(observer, "metrics", None)
+        if metrics is not None:
+            self._tx_frames = metrics.counter(
+                "endsystem_tx_frames_total", "frames onto the playout link"
+            )
+            self._tx_bytes = metrics.counter(
+                "endsystem_tx_bytes_total", "bytes onto the playout link"
+            )
+            self._card_depth = metrics.gauge(
+                "endsystem_card_queue_depth",
+                "card-side slot queue depth at last service",
+            )
+        else:
+            self._tx_frames = self._tx_bytes = self._card_depth = None
         self.streaming = StreamingUnit(
             self.qm,
             self.scheduler,
@@ -229,10 +255,18 @@ class EndsystemRouter:
         # Keep the card queues topped up (streaming unit runs
         # concurrently; PCI time is accounted, not serialized here —
         # its critical-path share is in the TE's per-frame PIO cost).
-        self.streaming.refill_all(now)
-        outcome = self.scheduler.decision_cycle(
-            self._tick, consume="winner", count_misses=False
-        )
+        if self._phase is None:
+            self.streaming.refill_all(now)
+            outcome = self.scheduler.decision_cycle(
+                self._tick, consume="winner", count_misses=False
+            )
+        else:
+            with self._phase("endsystem.refill"):
+                self.streaming.refill_all(now)
+            with self._phase("endsystem.decide"):
+                outcome = self.scheduler.decision_cycle(
+                    self._tick, consume="winner", count_misses=False
+                )
         self._tick += 1
         if outcome.circulated_sid is None:
             # Nothing eligible on the card.
@@ -244,12 +278,21 @@ class EndsystemRouter:
                     )
                 return
             return  # workload drained: stop the service chain
-        frame, done = self.te.transmit(outcome.circulated_sid, now)
+        sid = outcome.circulated_sid
+        if self._phase is None:
+            frame, done = self.te.transmit(sid, now)
+        else:
+            with self._phase("endsystem.transmit"):
+                frame, done = self.te.transmit(sid, now)
         if frame is None:
             # Offsets reached the card before the frame hit the QM ring
             # (transient); retry at the next event.
             self.sim.schedule(1.0, self._service)
             return
+        if self._tx_frames is not None:
+            self._tx_frames.inc(stream=sid)
+            self._tx_bytes.inc(frame.length_bytes, stream=sid)
+            self._card_depth.set(self.scheduler.slot(sid).backlog, stream=sid)
         self.sim.schedule_at(done, self._service)
 
     # ------------------------------------------------------------------

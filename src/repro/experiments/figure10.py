@@ -84,6 +84,7 @@ def run_figure10(
     *,
     streamlets_per_slot: int = STREAMLETS_PER_SLOT,
     engine: str = "reference",
+    observer=None,
 ) -> Figure10Result:
     """Run the aggregation experiment.
 
@@ -110,7 +111,10 @@ def run_figure10(
 
     specs = ratio_workload(RATIOS, frames_per_stream=frames_per_stream)
     router = EndsystemRouter(
-        specs, EndsystemConfig(engine=engine), on_departure=on_departure
+        specs,
+        EndsystemConfig(engine=engine),
+        on_departure=on_departure,
+        observer=observer,
     )
     run = router.run(preload=True)
     # Streamlet bandwidth is meaningful over the saturated phase; use

@@ -44,6 +44,7 @@ def run_figure8(
     *,
     window_us: float | None = None,
     engine: str = "reference",
+    observer=None,
 ) -> Figure8Result:
     """Run the Figure 8 workload and reduce to bandwidth series.
 
@@ -54,7 +55,9 @@ def run_figure8(
     still land whole windows inside the saturated phase.
     """
     specs = ratio_workload(RATIOS, frames_per_stream=frames_per_stream)
-    router = EndsystemRouter(specs, EndsystemConfig(engine=engine))
+    router = EndsystemRouter(
+        specs, EndsystemConfig(engine=engine), observer=observer
+    )
     run = router.run(preload=True)
     # Saturated phase: until the highest-share stream drains;
     # conservatively the first quarter of the run.

@@ -63,6 +63,7 @@ def run_figure9(
     inter_burst_gap_ms: float | None = None,
     offered_rate_pps: float = 16_000.0,
     engine: str = "reference",
+    observer=None,
 ) -> Figure9Result:
     """Run the bursty-arrival delay experiment.
 
@@ -99,7 +100,9 @@ def run_figure9(
                 ),
             )
         )
-    router = EndsystemRouter(specs, EndsystemConfig(engine=engine))
+    router = EndsystemRouter(
+        specs, EndsystemConfig(engine=engine), observer=observer
+    )
     run = router.run(preload=False)
     series = {
         sid: run.te.delay.series(sid) for sid in run.te.delay.stream_ids

@@ -97,7 +97,8 @@ def _p99(delays: list[float]) -> float:
 
 
 def _run_sharestreams(
-    horizon: int, rt, be, periods, n_be: int, engine: str = "reference"
+    horizon: int, rt, be, periods, n_be: int, engine: str = "reference",
+    observer=None,
 ) -> IsolationResult:
     """Per-flow slots: deadline ordering via DWCS(0,0) attributes."""
     n_rt = len(periods)
@@ -107,7 +108,7 @@ def _run_sharestreams(
         for i in range(n_rt + n_be)
     ]
     arch = ArchConfig(n_slots=32, routing=Routing.WR, wrap=False)
-    scheduler = make_scheduler(arch, streams, engine=engine)
+    scheduler = make_scheduler(arch, streams, engine=engine, observer=observer)
     rt_iter, be_iter = 0, 0
     late = 0
     be_served = 0
@@ -291,17 +292,19 @@ def run_isolation(
     n_be: int = 12,
     seed: int = 11,
     engine: str = "reference",
+    observer=None,
 ) -> list[IsolationResult]:
     """Run all three systems on the same workload.
 
     ``engine`` selects the ShareStreams scheduler implementation
     (``"reference"`` object model or ``"batch"`` vectorized engine);
-    the peer systems are unaffected.
+    the peer systems are unaffected.  ``observer`` is the telemetry
+    hook, attached to the ShareStreams scheduler only.
     """
     periods = list(rt_periods)
     rt, be = _workload(horizon, periods, n_be, seed)
     return [
-        _run_sharestreams(horizon, rt, be, periods, n_be, engine),
+        _run_sharestreams(horizon, rt, be, periods, n_be, engine, observer),
         _run_gsr(horizon, rt, be, periods, n_be, seed),
         _run_teracross(horizon, rt, be, periods, n_be),
     ]

@@ -70,7 +70,9 @@ class Table3Result:
         return sum(r.missed_deadlines for r in self.rows)
 
 
-def _make_scheduler(routing: Routing, block_mode: BlockMode, engine: str):
+def _make_scheduler(
+    routing: Routing, block_mode: BlockMode, engine: str, observer=None
+):
     arch = ArchConfig(
         n_slots=N_STREAMS,
         routing=routing,
@@ -81,7 +83,7 @@ def _make_scheduler(routing: Routing, block_mode: BlockMode, engine: str):
         StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
         for i in range(N_STREAMS)
     ]
-    return make_scheduler(arch, streams, engine=engine)
+    return make_scheduler(arch, streams, engine=engine, observer=observer)
 
 
 #: Initial deadlines one time unit apart across streams (Section 5.1).
@@ -92,6 +94,7 @@ def run_max_finding(
     frames_per_stream: int = FRAMES_PER_STREAM,
     *,
     engine: str = "reference",
+    observer=None,
 ) -> Table3Result:
     """Max-finding (winner-only) configuration.
 
@@ -104,7 +107,7 @@ def run_max_finding(
     vectorized engine's self-advancing periodic path (bit-identical
     counters, cross-validated in the test suite).
     """
-    scheduler = _make_scheduler(Routing.WR, BlockMode.MAX_FIRST, engine)
+    scheduler = _make_scheduler(Routing.WR, BlockMode.MAX_FIRST, engine, observer)
     n_cycles = N_STREAMS * frames_per_stream
     if isinstance(scheduler, BatchScheduler):
         scheduler.run_periodic(
@@ -143,6 +146,7 @@ def run_block(
     frames_per_stream: int = FRAMES_PER_STREAM,
     *,
     engine: str = "reference",
+    observer=None,
 ) -> Table3Result:
     """Block-scheduling configuration (BA routing).
 
@@ -159,7 +163,7 @@ def run_block(
     incrementing while a late frame is pending, as in the max-finding
     configuration).
     """
-    scheduler = _make_scheduler(Routing.BA, block_mode, engine)
+    scheduler = _make_scheduler(Routing.BA, block_mode, engine, observer)
     n_cycles = frames_per_stream
     missed = [0] * N_STREAMS
     if isinstance(scheduler, BatchScheduler):
@@ -225,14 +229,19 @@ def run_table3(
     frames_per_stream: int = FRAMES_PER_STREAM,
     *,
     engine: str = "reference",
+    observer=None,
 ) -> dict[str, Table3Result]:
     """Run all three Table 3 configurations."""
     return {
-        "max_finding": run_max_finding(frames_per_stream, engine=engine),
+        "max_finding": run_max_finding(
+            frames_per_stream, engine=engine, observer=observer
+        ),
         "block_max_first": run_block(
-            BlockMode.MAX_FIRST, frames_per_stream, engine=engine
+            BlockMode.MAX_FIRST, frames_per_stream, engine=engine,
+            observer=observer,
         ),
         "block_min_first": run_block(
-            BlockMode.MIN_FIRST, frames_per_stream, engine=engine
+            BlockMode.MIN_FIRST, frames_per_stream, engine=engine,
+            observer=observer,
         ),
     }

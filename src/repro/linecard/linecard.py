@@ -59,11 +59,23 @@ class Linecard:
         Scheduler architecture configuration.
     streams:
         Stream constraints bound to the slots.
+    observer:
+        Telemetry hook forwarded to the scheduler (per-decision
+        events/metrics); an :class:`repro.observability.Observability`
+        additionally gets the run's modeled hardware cycles attributed
+        to a ``linecard.decide`` profiling phase.
     """
 
-    def __init__(self, arch: ArchConfig, streams: list[StreamConfig]) -> None:
+    def __init__(
+        self,
+        arch: ArchConfig,
+        streams: list[StreamConfig],
+        *,
+        observer=None,
+    ) -> None:
         self.arch = arch
-        self.scheduler = ShareStreamsScheduler(arch, streams)
+        self.observer = observer
+        self.scheduler = ShareStreamsScheduler(arch, streams, observer=observer)
         self.clock_mhz = clock_rate_mhz(arch.n_slots, arch.routing)
         self.cycles_per_decision = decision_cycles(
             arch.n_slots, schedule=arch.schedule
@@ -94,6 +106,7 @@ class Linecard:
             packets += len(outcome.serviced)
             if record_winners and outcome.circulated_sid is not None:
                 winners.append(outcome.circulated_sid)
+        self._attribute_cycles(n_decisions * self.cycles_per_decision)
         return LinecardResult(
             decisions=n_decisions,
             packets_scheduled=packets,
@@ -101,6 +114,12 @@ class Linecard:
             clock_mhz=self.clock_mhz,
             winner_sequence=tuple(winners),
         )
+
+    def _attribute_cycles(self, hw_cycles: int) -> None:
+        """Credit modeled hardware cycles to the telemetry profiler."""
+        profiler = getattr(self.observer, "profiler", None)
+        if profiler is not None:
+            profiler.add_cycles("linecard.decide", hw_cycles)
 
     def model_throughput_pps(self, *, block: bool = False) -> float:
         """Analytic throughput (no behavioral run), for cross-checks."""
@@ -131,10 +150,16 @@ class FabricLinecard(Linecard):
     ``arrival + period`` (the card's deadline-assignment logic).
     """
 
-    def __init__(self, arch: ArchConfig, streams: list[StreamConfig]) -> None:
+    def __init__(
+        self,
+        arch: ArchConfig,
+        streams: list[StreamConfig],
+        *,
+        observer=None,
+    ) -> None:
         from repro.linecard.fabric import DualPortedSRAM
 
-        super().__init__(arch, streams)
+        super().__init__(arch, streams, observer=observer)
         self.sram = DualPortedSRAM(arch.n_slots)
         self._periods = {s.sid: s.period for s in streams}
 
@@ -171,6 +196,7 @@ class FabricLinecard(Linecard):
             if outcome.circulated_sid is not None:
                 self.sram.emit_winner(outcome.circulated_sid)
                 winners.append(outcome.circulated_sid)
+        self._attribute_cycles(n_decisions * self.cycles_per_decision)
         return LinecardResult(
             decisions=n_decisions,
             packets_scheduled=packets,

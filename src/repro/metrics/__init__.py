@@ -5,6 +5,9 @@ from repro.metrics.delay import DelaySeries, DelayTracker
 from repro.metrics.export import (
     write_bandwidth_csv,
     write_delay_csv,
+    write_metrics,
+    write_metrics_json,
+    write_metrics_prometheus,
     write_rows_csv,
 )
 from repro.metrics.report import format_quantity, render_series, render_table
@@ -19,5 +22,8 @@ __all__ = [
     "render_table",
     "write_bandwidth_csv",
     "write_delay_csv",
+    "write_metrics",
+    "write_metrics_json",
+    "write_metrics_prometheus",
     "write_rows_csv",
 ]

@@ -1,8 +1,9 @@
-"""CSV export of experiment series (figure data artifacts).
+"""Export of experiment series and telemetry (figure data artifacts).
 
 The benchmark harness prints tables; anyone re-plotting the figures
 wants machine-readable data.  These helpers write the bandwidth/delay
-series and generic row tables to CSV with stdlib ``csv`` only.
+series and generic row tables to CSV with stdlib ``csv`` only, plus
+the observability registry in Prometheus text or JSON form.
 """
 
 from __future__ import annotations
@@ -13,8 +14,16 @@ from typing import Iterable, Sequence
 
 from repro.metrics.bandwidth import BandwidthSeries
 from repro.metrics.delay import DelaySeries
+from repro.observability.metrics import MetricsRegistry
 
-__all__ = ["write_rows_csv", "write_bandwidth_csv", "write_delay_csv"]
+__all__ = [
+    "write_rows_csv",
+    "write_bandwidth_csv",
+    "write_delay_csv",
+    "write_metrics",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+]
 
 
 def write_rows_csv(
@@ -70,3 +79,31 @@ def write_delay_csv(path: str | Path, series: dict[int, DelaySeries]) -> Path:
         for t, d in zip(s.departures_us, s.delays_us):
             rows.append([sid, float(t), float(d)])
     return write_rows_csv(path, ["stream", "departure_us", "delay_us"], rows)
+
+
+def write_metrics_prometheus(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Write a metrics registry in Prometheus text exposition format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(registry.to_prometheus_text())
+    return path
+
+
+def write_metrics_json(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Write a metrics registry as a canonical JSON snapshot."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(registry.to_json())
+    return path
+
+
+def write_metrics(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Write a metrics registry; format picked by suffix.
+
+    ``.json`` gets the JSON snapshot, anything else the Prometheus
+    text format (the ``.prom`` convention).
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        return write_metrics_json(path, registry)
+    return write_metrics_prometheus(path, registry)

@@ -1,0 +1,381 @@
+"""Metrics registry: counters, gauges, histograms + exporters.
+
+A minimal, dependency-free metrics layer shaped after the Prometheus
+data model: named metrics with label sets, exported either as the
+Prometheus text exposition format or as JSON.  The endsystem host, the
+line-card and the experiment drivers all feed one
+:class:`MetricsRegistry`; :class:`repro.observability.hooks.MetricsObserver`
+derives the per-stream scheduling metrics (service counts, misses,
+drops, deadline slack, inter-service jitter) from the engines' decision
+outcomes.
+
+Round-tripping is first-class: :func:`parse_prometheus_text` parses the
+text exposition back into the same canonical ``{metric: {type, samples}}``
+shape :meth:`MetricsRegistry.snapshot` produces, so tests can assert
+``parse(export(registry)) == registry.snapshot()`` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
+def _fmt(value: float) -> str:
+    """Exposition-format number: integral values render without '.0'."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared name/help/type plumbing."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def sample_lines(self) -> list[tuple[str, str, float]]:
+        """``(sample_name, label_suffix, value)`` rows for export."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise ValueError("counters cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of the labeled series (0 if never touched)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def label_sets(self) -> list[dict[str, str]]:
+        """Every label set this counter has seen."""
+        return [dict(key) for key in sorted(self._values)]
+
+    def total(self) -> float:
+        """Sum over all label sets."""
+        return sum(self._values.values())
+
+    def sample_lines(self) -> list[tuple[str, str, float]]:
+        return [
+            (self.name, _label_suffix(key), v)
+            for key, v in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """Last-write-wins value, optionally per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the labeled series to ``value``."""
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Adjust the labeled series by ``amount`` (may be negative)."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of the labeled series (0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def sample_lines(self) -> list[tuple[str, str, float]]:
+        return [
+            (self.name, _label_suffix(key), v)
+            for key, v in sorted(self._values.items())
+        ]
+
+
+#: Default histogram buckets: powers of two, good for slack/jitter in
+#: scheduler time units.
+DEFAULT_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``observe`` files the value into every bucket whose upper bound is
+    >= the value, plus the implicit ``+Inf`` bucket; ``_sum``/``_count``
+    series are kept per label set.  The invariant the property tests
+    assert: ``count == +Inf bucket`` and, when fed from the decision
+    hook, ``count == the matching counter total``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate bucket bounds")
+        self.buckets = bounds
+        self._counts: dict[tuple[tuple[str, str], ...], list[int]] = {}
+        self._sums: dict[tuple[tuple[str, str], ...], float] = {}
+        self._totals: dict[tuple[tuple[str, str], ...], int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """File one observation into the labeled series."""
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * len(self.buckets)
+            self._counts[key] = counts
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: Any) -> int:
+        """Observations filed under the labeled series."""
+        return self._totals.get(_label_key(labels), 0)
+
+    def total_count(self) -> int:
+        """Observations filed across all label sets."""
+        return sum(self._totals.values())
+
+    def label_sets(self) -> list[dict[str, str]]:
+        """Every label set this histogram has seen."""
+        return [dict(key) for key in sorted(self._totals)]
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observed values under the labeled series."""
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def sample_lines(self) -> list[tuple[str, str, float]]:
+        lines: list[tuple[str, str, float]] = []
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            for bound, c in zip(self.buckets, counts):
+                lines.append(
+                    (
+                        f"{self.name}_bucket",
+                        _label_suffix(key + (("le", _fmt(bound)),)),
+                        float(c),
+                    )
+                )
+            lines.append(
+                (
+                    f"{self.name}_bucket",
+                    _label_suffix(key + (("le", "+Inf"),)),
+                    float(self._totals[key]),
+                )
+            )
+            lines.append((f"{self.name}_sum", _label_suffix(key), self._sums[key]))
+            lines.append(
+                (f"{self.name}_count", _label_suffix(key), float(self._totals[key]))
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors and exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- get-or-create accessors --------------------------------------
+
+    def _get(self, name: str, cls, **kwargs) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the named counter."""
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the named gauge."""
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the named histogram."""
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    # -- introspection -------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        """The named metric, or None."""
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Canonical export-equivalent view.
+
+        ``{metric_name: {"type": kind, "samples": {sample_key: value}}}``
+        where ``sample_key`` is ``sample_name + label_suffix`` exactly
+        as the text exposition renders it.  This is the shape
+        :func:`parse_prometheus_text` reconstructs, making round-trip
+        comparison an equality check.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            samples = {
+                sample_name + suffix: value
+                for sample_name, suffix, value in metric.sample_lines()
+            }
+            out[name] = {"type": metric.kind, "samples": samples}
+        return out
+
+    # -- exporters -----------------------------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for sample_name, suffix, value in metric.sample_lines():
+                lines.append(f"{sample_name}{suffix} {_fmt(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> str:
+        """JSON exporter: the :meth:`snapshot` shape, pretty-printed."""
+        return json.dumps(self.snapshot(), indent=1, sort_keys=True) + "\n"
+
+    def clear(self) -> None:
+        """Drop every registered metric."""
+        self._metrics.clear()
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _base_name(sample_name: str, kind: str) -> str:
+    if kind == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
+    """Parse the text exposition back into the :meth:`~MetricsRegistry.snapshot` shape.
+
+    Strict enough for round-trip testing: unknown lines, samples
+    without a preceding ``# TYPE``, and malformed sample lines raise
+    ``ValueError``.
+    """
+    out: dict[str, dict[str, Any]] = {}
+    types: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line {raw!r}")
+            _, _, name, kind = parts
+            types[name] = kind
+            out[name] = {"type": kind, "samples": {}}
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample line {raw!r}")
+        sample_name = m.group("name")
+        owner = None
+        for name, kind in types.items():
+            if _base_name(sample_name, kind) == name:
+                owner = name
+                break
+        if owner is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} precedes its TYPE line"
+            )
+        key = sample_name + (m.group("labels") or "")
+        out[owner]["samples"][key] = _parse_value(m.group("value"))
+    return out

@@ -1,0 +1,89 @@
+"""Lightweight per-phase profiling hooks (wall time + cycle accounting).
+
+Drivers wrap their pipeline phases (refill, decide, transmit, ...) in
+:meth:`PhaseProfiler.phase` context managers; engines contribute
+modeled hardware cycles via :meth:`PhaseProfiler.add_cycles`.  The
+profiler is only ever consulted when telemetry is enabled — disabled
+runs never construct one, and the drivers branch around the context
+manager entirely (zero overhead when off).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["PhaseStat", "PhaseProfiler"]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseStat:
+    """Accumulated cost of one named phase."""
+
+    name: str
+    calls: int
+    wall_s: float
+    hw_cycles: int
+
+    @property
+    def mean_us(self) -> float:
+        """Mean wall time per call, microseconds."""
+        return self.wall_s / self.calls * 1e6 if self.calls else 0.0
+
+
+class PhaseProfiler:
+    """Accumulates per-phase call counts, wall time and modeled cycles."""
+
+    def __init__(self, *, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._calls: dict[str, int] = {}
+        self._wall: dict[str, float] = {}
+        self._cycles: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one execution of the named phase."""
+        t0 = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - t0
+            self._calls[name] = self._calls.get(name, 0) + 1
+            self._wall[name] = self._wall.get(name, 0.0) + elapsed
+
+    def add_cycles(self, name: str, cycles: int) -> None:
+        """Attribute modeled hardware cycles to the named phase."""
+        self._cycles[name] = self._cycles.get(name, 0) + int(cycles)
+
+    def report(self) -> dict[str, PhaseStat]:
+        """Per-phase stats, keyed by phase name."""
+        names = set(self._calls) | set(self._cycles)
+        return {
+            name: PhaseStat(
+                name=name,
+                calls=self._calls.get(name, 0),
+                wall_s=self._wall.get(name, 0.0),
+                hw_cycles=self._cycles.get(name, 0),
+            )
+            for name in sorted(names)
+        }
+
+    def render(self) -> str:
+        """Text table of the accumulated phases."""
+        stats = self.report()
+        if not stats:
+            return "(no phases profiled)"
+        lines = [f"{'phase':<24} {'calls':>8} {'wall ms':>10} {'us/call':>9} {'hw cycles':>10}"]
+        for s in stats.values():
+            lines.append(
+                f"{s.name:<24} {s.calls:>8} {s.wall_s * 1e3:>10.3f} "
+                f"{s.mean_us:>9.2f} {s.hw_cycles:>10}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Reset all accumulated phases."""
+        self._calls.clear()
+        self._wall.clear()
+        self._cycles.clear()

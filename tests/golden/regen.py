@@ -26,6 +26,11 @@ Vector files
     per-cycle emitted block, circulated winner, serviced slots and
     misses, plus final counters — exercises the window-constraint rules
     inside a full SCHEDULE/PRIORITY_UPDATE sequence.
+``decision_trace.json``
+    The structured observability decision trace (``TraceRecorder``
+    events) of a shortened DWCS run with drop-late enabled, plus its
+    canonical JSONL serialization — pins the telemetry event schema,
+    flattening order and byte-level encoding.
 """
 
 from __future__ import annotations
@@ -323,6 +328,42 @@ def build_dwcs_trace(n_cycles: int = DWCS_CYCLES) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# observability decision trace
+# ---------------------------------------------------------------------------
+
+DECISION_TRACE_CYCLES = 48
+
+
+def build_decision_trace(n_cycles: int = DECISION_TRACE_CYCLES) -> dict:
+    """Reference-engine telemetry trace of the DWCS workload.
+
+    Alternates the drop-late policy (on every third cycle) so all
+    three event kinds (decide / miss / drop) appear — drop-late sheds
+    late heads *before* miss registration, so a pure drop-late run
+    would never record a miss.  Stores both the event dicts and the
+    canonical JSONL serialization; the replay test asserts byte
+    identity against both engines.
+    """
+    from repro.observability import TraceRecorder
+
+    recorder = TraceRecorder()
+    scheduler = ShareStreamsScheduler(*dwcs_arch_streams(), observer=recorder)
+    for t in range(n_cycles):
+        for sid, deadline, arrival in dwcs_arrivals(t):
+            scheduler.enqueue(sid, deadline=deadline, arrival=arrival)
+        scheduler.decision_cycle(
+            t, consume="winner", count_misses=True, drop_late=(t % 3 == 0)
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "description": "structured observability decision-trace vector",
+        "n_cycles": n_cycles,
+        "events": recorder.to_dicts(),
+        "jsonl": recorder.serialize().decode("utf-8"),
+    }
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -330,6 +371,7 @@ VECTORS = {
     "table2_rules.json": build_table2_cases,
     "table3_vectors.json": build_table3_vectors,
     "dwcs_trace.json": build_dwcs_trace,
+    "decision_trace.json": build_decision_trace,
 }
 
 

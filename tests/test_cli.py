@@ -71,3 +71,43 @@ class TestCLI:
     def test_ablation_sort_reduced(self, capsys):
         assert main(["ablation-sort", "--frames", "20"]) == 0
         assert "bitonic" in capsys.readouterr().out
+
+
+class TestCLITelemetry:
+    def test_metrics_out_writes_valid_prometheus(self, capsys, tmp_path):
+        from repro.observability import parse_prometheus_text
+
+        out_path = tmp_path / "m.prom"
+        assert main(
+            ["figure8", "--frames", "400", "--metrics-out", str(out_path)]
+        ) == 0
+        assert f"metrics written to {out_path}" in capsys.readouterr().out
+        snapshot = parse_prometheus_text(out_path.read_text())
+        assert "sharestreams_decisions_total" in snapshot
+        assert "endsystem_tx_frames_total" in snapshot
+
+    def test_metrics_out_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "m.json"
+        assert main(
+            ["table3", "--frames", "50", "--metrics-out", str(out_path)]
+        ) == 0
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["sharestreams_decisions_total"]["type"] == "counter"
+
+    def test_trace_prints_tail_and_profile(self, capsys):
+        assert main(["isolation", "--frames", "400", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "decide" in out
+        assert "sharestreams_decisions_total" in out
+
+    def test_trace_on_batch_engine(self, capsys):
+        assert main(
+            ["figure8", "--frames", "400", "--engine", "batch", "--trace"]
+        ) == 0
+        assert "endsystem.decide" in capsys.readouterr().out
+
+    def test_telemetry_rejected_for_unsupported_command(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--trace"])

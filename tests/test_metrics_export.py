@@ -1,6 +1,7 @@
-"""Tests for CSV export of experiment series."""
+"""Tests for CSV and telemetry export of experiment series."""
 
 import csv
+import json
 
 import pytest
 
@@ -9,8 +10,12 @@ from repro.metrics import (
     DelayTracker,
     write_bandwidth_csv,
     write_delay_csv,
+    write_metrics,
+    write_metrics_json,
+    write_metrics_prometheus,
     write_rows_csv,
 )
+from repro.observability import MetricsRegistry, parse_prometheus_text
 
 
 def read_csv(path):
@@ -83,6 +88,55 @@ class TestDelayCsv:
     def test_empty_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             write_delay_csv(tmp_path / "d.csv", {})
+
+
+class TestMetricsExport:
+    def _registry(self) -> MetricsRegistry:
+        r = MetricsRegistry()
+        r.counter("tx_total", "frames").inc(7, stream=0)
+        r.counter("tx_total").inc(3, stream=1)
+        r.gauge("depth", "queue depth").set(4.5, stream=0)
+        r.histogram("slack", "deadline slack", buckets=(1, 8)).observe(
+            3, stream=0
+        )
+        return r
+
+    def test_prometheus_round_trip(self, tmp_path):
+        r = self._registry()
+        path = write_metrics_prometheus(tmp_path / "m.prom", r)
+        assert parse_prometheus_text(path.read_text()) == r.snapshot()
+
+    def test_json_round_trip(self, tmp_path):
+        r = self._registry()
+        path = write_metrics_json(tmp_path / "m.json", r)
+        assert json.loads(path.read_text()) == r.snapshot()
+
+    def test_suffix_dispatch(self, tmp_path):
+        r = self._registry()
+        prom = write_metrics(tmp_path / "a.prom", r)
+        txt = write_metrics(tmp_path / "b.txt", r)
+        js = write_metrics(tmp_path / "c.json", r)
+        assert prom.read_text().startswith("# HELP")
+        assert txt.read_text() == prom.read_text()
+        assert json.loads(js.read_text()) == r.snapshot()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_metrics(tmp_path / "x" / "y" / "m.prom", self._registry())
+        assert path.exists()
+
+    def test_experiment_metrics_round_trip(self, tmp_path):
+        """End to end: a real experiment's registry survives export,
+        re-parse and comparison against the live snapshot."""
+        from repro.experiments.figure8 import run_figure8
+        from repro.observability import Observability
+
+        obs = Observability(trace=False, profile=False)
+        run_figure8(frames_per_stream=400, observer=obs)
+        path = write_metrics(tmp_path / "fig8.prom", obs.metrics)
+        parsed = parse_prometheus_text(path.read_text())
+        assert parsed == obs.metrics.snapshot()
+        frames = parsed["endsystem_tx_frames_total"]["samples"]
+        assert sum(frames.values()) == 1600
 
 
 class TestEndToEndExport:

@@ -1,0 +1,271 @@
+"""Unit tests for the observability metrics, profiling and recorder.
+
+Covers the metric primitives (counter / gauge / histogram semantics),
+the registry (get-or-create, type conflicts, canonical snapshot), the
+Prometheus text exporter round-trip through the strict parser, the
+JSON exporter, the phase profiler, the trace recorder's ring-buffer
+bookkeeping and the :class:`Observability` facade.
+"""
+
+import json
+
+import pytest
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, Routing
+from repro.core.scheduler import ShareStreamsScheduler
+from repro.observability import (
+    Observability,
+    PhaseProfiler,
+    TraceRecorder,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+def _edf_scheduler(observer, n_slots: int = 2) -> ShareStreamsScheduler:
+    arch = ArchConfig(n_slots=n_slots, routing=Routing.WR, wrap=False)
+    streams = [
+        StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+        for i in range(n_slots)
+    ]
+    return ShareStreamsScheduler(arch, streams, observer=observer)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("x_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        c = MetricsRegistry().counter("x_total")
+        c.inc(stream=0)
+        c.inc(3, stream=1)
+        assert c.value(stream=0) == 1
+        assert c.value(stream=1) == 3
+        assert c.value(stream=7) == 0
+        assert c.total() == 4
+        assert c.label_sets() == [{"stream": "0"}, {"stream": "1"}]
+
+    def test_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc(-2)
+        assert g.value() == 3
+
+    def test_labeled(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(4, stream=2)
+        assert g.value(stream=2) == 4
+        assert g.value() == 0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 555.5
+        names = dict(
+            ((name, labels), value) for name, labels, value in h.sample_lines()
+        )
+        assert names[("lat_bucket", '{le="1"}')] == 1
+        assert names[("lat_bucket", '{le="10"}')] == 2
+        assert names[("lat_bucket", '{le="100"}')] == 3
+        assert names[("lat_bucket", '{le="+Inf"}')] == 4
+
+    def test_rejects_bad_buckets(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            r.histogram("b", buckets=(1, 1))
+
+    def test_label_sets(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1,))
+        h.observe(0.5, stream=1)
+        h.observe(0.5, stream=0)
+        assert h.label_sets() == [{"stream": "0"}, {"stream": "1"}]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        r = MetricsRegistry()
+        assert r.counter("a_total") is r.counter("a_total")
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a_total")
+        with pytest.raises(TypeError):
+            r.gauge("a_total")
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("a_total").inc(2, stream=1)
+        r.gauge("d").set(7)
+        snap = r.snapshot()
+        assert snap["a_total"]["type"] == "counter"
+        assert snap["a_total"]["samples"] == {'a_total{stream="1"}': 2.0}
+        assert snap["d"]["samples"] == {"d": 7.0}
+
+    def test_clear_resets_samples(self):
+        r = MetricsRegistry()
+        r.counter("a_total").inc()
+        r.clear()
+        assert r.counter("a_total").value() == 0
+
+
+class TestPrometheusRoundTrip:
+    def _populated(self) -> MetricsRegistry:
+        r = MetricsRegistry()
+        r.counter("req_total", "requests").inc(3, stream=0)
+        r.counter("req_total").inc(1, stream=1)
+        r.gauge("depth", "queue depth").set(2.5, stream=0)
+        h = r.histogram("lat", "latency", buckets=(1, 8))
+        h.observe(0.5, stream=0)
+        h.observe(100, stream=0)
+        return r
+
+    def test_round_trip_equals_snapshot(self):
+        r = self._populated()
+        assert parse_prometheus_text(r.to_prometheus_text()) == r.snapshot()
+
+    def test_text_contains_type_and_help(self):
+        text = self._populated().to_prometheus_text()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{stream="0",le="+Inf"} 2' in text
+
+    def test_integral_values_render_without_decimal(self):
+        text = self._populated().to_prometheus_text()
+        assert 'req_total{stream="0"} 3\n' in text
+        assert 'depth{stream="0"} 2.5' in text
+
+    def test_json_round_trip(self):
+        r = self._populated()
+        assert json.loads(r.to_json()) == r.snapshot()
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("not a metric line at all!")
+
+    def test_parser_rejects_sample_without_type(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("orphan_metric 3\n")
+
+
+class TestPhaseProfiler:
+    def test_phases_accumulate(self):
+        ticks = iter(range(100))
+        p = PhaseProfiler(clock=lambda: next(ticks))
+        with p.phase("a"):
+            pass
+        with p.phase("a"):
+            pass
+        stats = p.report()
+        assert stats["a"].calls == 2
+        assert stats["a"].wall_s == 2.0  # two 1-tick spans
+
+    def test_add_cycles_and_render(self):
+        p = PhaseProfiler()
+        p.add_cycles("hw", 640)
+        assert p.report()["hw"].hw_cycles == 640
+        assert "hw" in p.render()
+
+    def test_clear(self):
+        p = PhaseProfiler()
+        p.add_cycles("hw", 1)
+        p.clear()
+        assert not p.report()
+
+
+class TestTraceRecorder:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_eviction_is_never_silent(self):
+        recorder = TraceRecorder(capacity=4)
+        s = _edf_scheduler(recorder)
+        for t in range(8):
+            s.enqueue(0, deadline=t + 1, arrival=t)
+            s.decision_cycle(t)
+        assert recorder.recorded == 8
+        assert recorder.evicted == 4
+        with pytest.raises(ValueError):
+            recorder.serialize()
+        # Explicit opt-in still works and keeps only the tail.
+        data = recorder.serialize(allow_truncated=True)
+        assert len(data.splitlines()) == 4
+
+    def test_clear_resets_everything(self):
+        recorder = TraceRecorder(capacity=2)
+        s = _edf_scheduler(recorder)
+        for t in range(4):
+            s.decision_cycle(t)
+        recorder.clear()
+        assert recorder.recorded == 0
+        assert recorder.evicted == 0
+        assert not list(recorder.events())
+        # Sequence numbering restarts.
+        s.decision_cycle(4)
+        assert list(recorder.events())[0].seq == 0
+
+    def test_kind_filter(self):
+        recorder = TraceRecorder()
+        s = _edf_scheduler(recorder)
+        s.enqueue(0, deadline=1, arrival=0)
+        s.decision_cycle(0)
+        s.decision_cycle(5)  # idle decide
+        assert len(list(recorder.events("decide"))) == 2
+        assert recorder.kinds() == {"decide": 2}
+
+
+class TestObservabilityFacade:
+    def test_sinks_toggle_independently(self):
+        obs = Observability(trace=False, metrics=True, profile=False)
+        assert obs.recorder is None
+        assert obs.profiler is None
+        s = _edf_scheduler(obs)
+        s.enqueue(0, deadline=1, arrival=0)
+        s.decision_cycle(0)
+        assert obs.metrics.counter("sharestreams_decisions_total").value() == 1
+
+    def test_phase_is_usable_without_profiler(self):
+        obs = Observability(profile=False)
+        with obs.phase("anything"):
+            pass  # must be a no-op context, not an error
+
+    def test_render_mentions_all_sections(self):
+        obs = Observability()
+        s = _edf_scheduler(obs)
+        s.enqueue(0, deadline=1, arrival=0)
+        with obs.phase("unit.test"):
+            s.decision_cycle(0)
+        out = obs.render()
+        assert "decide" in out
+        assert "sharestreams_decisions_total" in out
+        assert "unit.test" in out
+
+    def test_clear_resets_all_sinks(self):
+        obs = Observability()
+        s = _edf_scheduler(obs)
+        s.enqueue(0, deadline=1, arrival=0)
+        with obs.phase("p"):
+            s.decision_cycle(0)
+        obs.clear()
+        assert obs.recorder.recorded == 0
+        assert not obs.profiler.report()
+        snapshot = obs.metrics.snapshot()
+        assert all(not family["samples"] for family in snapshot.values())

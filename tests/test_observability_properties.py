@@ -1,0 +1,120 @@
+"""Property-based invariants of the observability layer.
+
+Hypothesis drives seeds through :func:`generate_scenario`, so every
+property is checked across both routings, both block modes, wrapped
+and ideal arithmetic, and all four update disciplines.  The invariants
+under test are the accounting identities that make the telemetry
+trustworthy:
+
+* a serviced slot appears at most once per decision cycle (the
+  hardware consumes one head per slot per cycle);
+* per-stream serviced counters sum to the total serviced count, and
+  the decision counter equals the number of cycles;
+* every histogram's observation count equals the matching counter
+  (slack samples are per serviced packet);
+* attaching telemetry never changes scheduling decisions — outcomes
+  are identical with and without an observer;
+* a disabled (``observer=None``) run records nothing anywhere.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.differential import generate_scenario, run_engine
+from repro.observability import Observability
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _scenario(seed: int):
+    return generate_scenario(seed, n_cycles=60, max_slots=16)
+
+
+def _label_total(registry, name: str) -> float:
+    counter = registry.counter(name, "")
+    return sum(counter.value(**dict(labels)) for labels in counter.label_sets())
+
+
+class TestAccountingIdentities:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, engine=st.sampled_from(["reference", "batch"]))
+    def test_serviced_slot_at_most_once_per_cycle(self, seed, engine):
+        trace = run_engine(_scenario(seed), engine)
+        for record in trace.records:
+            sids = [sid for sid, *_ in record.serviced]
+            assert len(sids) == len(set(sids)), (
+                f"slot serviced twice in cycle {record.now}: {sids}"
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, engine=st.sampled_from(["reference", "batch"]))
+    def test_counters_sum_to_totals(self, seed, engine):
+        obs = Observability(profile=False)
+        trace = run_engine(_scenario(seed), engine, observer=obs)
+        m = obs.metrics
+        n_cycles = len(trace.records)
+        total_serviced = sum(len(r.serviced) for r in trace.records)
+        total_misses = sum(len(r.misses) for r in trace.records)
+        total_drops = sum(len(r.dropped) for r in trace.records)
+        decisions = m.counter("sharestreams_decisions_total", "").value()
+        idle = m.counter("sharestreams_idle_cycles_total", "").value()
+        assert decisions == n_cycles
+        assert idle == sum(1 for r in trace.records if r.circulated is None)
+        assert _label_total(m, "sharestreams_serviced_total") == total_serviced
+        assert _label_total(m, "sharestreams_misses_total") == total_misses
+        assert _label_total(m, "sharestreams_drops_total") == total_drops
+        # Per-stream serviced counters agree with the engine's own.
+        serviced_counter = m.counter("sharestreams_serviced_total", "")
+        for sid, counters in trace.counters.items():
+            assert serviced_counter.value(stream=sid) == counters[1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, engine=st.sampled_from(["reference", "batch"]))
+    def test_histogram_counts_match_counters(self, seed, engine):
+        obs = Observability(profile=False)
+        run_engine(_scenario(seed), engine, observer=obs)
+        m = obs.metrics
+        slack = m.histogram("sharestreams_deadline_slack", "")
+        assert slack.total_count() == _label_total(
+            m, "sharestreams_serviced_total"
+        )
+        serviced_counter = m.counter("sharestreams_serviced_total", "")
+        for labels in slack.label_sets():
+            kwargs = dict(labels)
+            assert slack.count(**kwargs) == serviced_counter.value(**kwargs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, engine=st.sampled_from(["reference", "batch"]))
+    def test_trace_events_match_outcome_stream(self, seed, engine):
+        obs = Observability(profile=False)
+        trace = run_engine(_scenario(seed), engine, observer=obs)
+        events = list(obs.recorder.events())
+        assert len(events) == sum(
+            1 + len(r.misses) + len(r.dropped) for r in trace.records
+        )
+        assert [e.seq for e in events] == list(range(len(events)))
+
+
+class TestTelemetryIsPassive:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, engine=st.sampled_from(["reference", "batch"]))
+    def test_observer_never_changes_outcomes(self, seed, engine):
+        scenario = _scenario(seed)
+        plain = run_engine(scenario, engine)
+        observed = run_engine(scenario, engine, observer=Observability())
+        assert plain.records == observed.records
+        assert plain.counters == observed.counters
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=SEEDS, engine=st.sampled_from(["reference", "batch"]))
+    def test_disabled_run_records_nothing(self, seed, engine):
+        # The engine saw observer=None; a bystander Observability must
+        # stay empty (telemetry state is per-instance, never global).
+        # Metric *families* are declared eagerly; no *samples* may
+        # exist.
+        bystander = Observability()
+        run_engine(_scenario(seed), engine)
+        assert bystander.recorder.recorded == 0
+        snapshot = bystander.metrics.snapshot()
+        assert all(not family["samples"] for family in snapshot.values())
+        assert not bystander.profiler.report()

@@ -70,6 +70,61 @@ class TestQueries:
         assert log.recorded == 0
 
 
+class TestClearResetsRetainedCounters:
+    """``clear()`` must reset *every* retained counter in one swap —
+    a partially-cleared log double-counts when reused across runs."""
+
+    def test_clear_resets_category_counts(self):
+        log = TraceLog()
+        log.emit(0.0, "decide", "m")
+        log.emit(1.0, "miss", "m")
+        log.clear()
+        assert log.categories() == {}
+        log.emit(2.0, "decide", "m")
+        assert log.categories() == {"decide": 1}
+
+    def test_clear_resets_eviction_count(self):
+        log = TraceLog(capacity=2)
+        for k in range(5):
+            log.emit(float(k), "c", "m")
+        assert log.dropped == 3
+        log.clear()
+        assert log.dropped == 0
+        assert "evicted" not in log.render()
+
+    def test_category_counts_track_eviction(self):
+        log = TraceLog(capacity=2)
+        log.emit(0.0, "a", "m")
+        log.emit(1.0, "b", "m")
+        log.emit(2.0, "b", "m")  # evicts the only "a" event
+        assert log.categories() == {"b": 2}
+
+    def test_no_leakage_across_simulator_reuse(self):
+        """One TraceLog reused across two Simulator-driven runs must
+        count only the second run after ``clear()`` (the regression:
+        retained counters surviving the reset and double-counting)."""
+        from repro.sim.engine import Simulator
+
+        log = TraceLog()
+
+        def run_once() -> None:
+            sim = Simulator()
+            for k in range(5):
+                sim.schedule(
+                    float(k),
+                    lambda: log.emit(sim.now, "tick", "event", run=id(sim)),
+                )
+            sim.run()
+
+        run_once()
+        assert log.recorded == 5
+        log.clear()
+        run_once()
+        assert log.recorded == 5
+        assert log.categories() == {"tick": 5}
+        assert len(log) == 5
+
+
 class TestSchedulerIntegration:
     def test_decision_events_recorded(self):
         from repro.core.attributes import SchedulingMode, StreamConfig
