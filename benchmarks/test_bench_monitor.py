@@ -1,0 +1,176 @@
+"""Conformance-monitoring overhead: rollups must stay cheap.
+
+The ConformanceMonitor sits on the same per-decision hook as the
+metrics observer, so its streaming rollup + SLO evaluation must not
+turn monitoring into a second scheduler.  Acceptance gate: the
+monitor-enabled run costs at most 2x a bare MetricsObserver run
+(lower-envelope minima of interleaved series, same discipline as
+``test_bench_observability``), and telemetry-off remains the one
+``is not None`` guard per cycle.
+
+Set ``MONITOR_BENCH_JSON=/path/report.json`` to write the measured
+numbers as a machine-readable artifact (the CI ``monitor`` job uploads
+it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, Routing
+from repro.core.scheduler import ShareStreamsScheduler
+from repro.observability import (
+    ConformanceMonitor,
+    MetricsObserver,
+    MetricsRegistry,
+    StreamSlo,
+)
+
+N_SLOTS = 4
+CYCLES = 3000
+REPEATS = 5
+WARMUP = 200
+WINDOW = 256
+#: Acceptance gate: monitor-enabled <= 2x bare-metrics (lower envelope).
+OVERHEAD_BOUND = 2.0
+#: The two interleaved series' minima must agree before we trust them.
+STABILITY_BOUND = 1.05
+MAX_ATTEMPTS = 4
+
+
+def _arch_streams() -> tuple[ArchConfig, list[StreamConfig]]:
+    arch = ArchConfig(n_slots=N_SLOTS, routing=Routing.WR, wrap=False)
+    streams = [
+        StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+        for i in range(N_SLOTS)
+    ]
+    return arch, streams
+
+
+def _run_feed(scheduler: ShareStreamsScheduler, t0: int, n: int) -> None:
+    for t in range(t0, t0 + n):
+        for sid in range(N_SLOTS):
+            scheduler.enqueue(sid, deadline=(sid + 1) + t, arrival=t)
+        scheduler.decision_cycle(t, consume="winner", count_misses=True)
+
+
+def _make_metrics_observer():
+    return MetricsObserver(MetricsRegistry())
+
+
+def _make_monitor():
+    return ConformanceMonitor(
+        [
+            StreamSlo(sid=i, miss_budget=WINDOW, min_share=0.0, max_share=1.0)
+            for i in range(N_SLOTS)
+        ],
+        window_cycles=WINDOW,
+        flight_capacity=16,
+    )
+
+
+def _time_run(observer) -> float:
+    scheduler = ShareStreamsScheduler(*_arch_streams(), observer=observer)
+    _run_feed(scheduler, 0, WARMUP)
+    start = time.perf_counter()
+    _run_feed(scheduler, WARMUP, CYCLES)
+    return time.perf_counter() - start
+
+
+def _interleaved_minima(make_observer) -> tuple[float, float]:
+    """Lower-envelope minima of two interleaved series and their spread."""
+    series_a, series_b = [], []
+    for _ in range(REPEATS):
+        series_a.append(_time_run(make_observer()))
+        series_b.append(_time_run(make_observer()))
+    min_a, min_b = min(series_a), min(series_b)
+    hi, lo = max(min_a, min_b), min(min_a, min_b)
+    return lo, hi / lo
+
+
+def _stable_minimum(make_observer) -> tuple[float, float]:
+    for _ in range(MAX_ATTEMPTS):
+        lo, spread = _interleaved_minima(make_observer)
+        if spread < STABILITY_BOUND:
+            break
+    return lo, spread
+
+
+def test_monitor_overhead_vs_bare_metrics(report):
+    off, off_spread = _stable_minimum(lambda: None)
+    metrics, metrics_spread = _stable_minimum(_make_metrics_observer)
+    monitor, monitor_spread = _stable_minimum(_make_monitor)
+
+    metrics_ratio = metrics / off
+    monitor_ratio = monitor / metrics
+    payload = {
+        "cycles": CYCLES,
+        "n_slots": N_SLOTS,
+        "window_cycles": WINDOW,
+        "telemetry_off_us": off * 1e6,
+        "metrics_observer_us": metrics * 1e6,
+        "conformance_monitor_us": monitor * 1e6,
+        "metrics_vs_off_ratio": metrics_ratio,
+        "monitor_vs_metrics_ratio": monitor_ratio,
+        "spreads": {
+            "off": off_spread,
+            "metrics": metrics_spread,
+            "monitor": monitor_spread,
+        },
+        "overhead_bound": OVERHEAD_BOUND,
+    }
+    artifact = os.environ.get("MONITOR_BENCH_JSON")
+    if artifact:
+        with open(artifact, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
+    report(
+        "Conformance-monitoring overhead (periodic EDF feed, 4 slots)",
+        "\n".join(
+            [
+                f"cycles per run:        {CYCLES}",
+                f"telemetry off:         {off * 1e6:8.1f} us",
+                f"bare MetricsObserver:  {metrics * 1e6:8.1f} us"
+                f"  ({metrics_ratio:.2f}x off)",
+                f"ConformanceMonitor:    {monitor * 1e6:8.1f} us"
+                f"  ({monitor_ratio:.2f}x metrics)",
+            ]
+            + ([f"json artifact:         {artifact}"] if artifact else [])
+        ),
+    )
+
+    assert monitor_ratio < OVERHEAD_BOUND, (
+        f"rollup+SLO monitoring costs {monitor_ratio:.2f}x a bare "
+        f"MetricsObserver run (bound {OVERHEAD_BOUND}x): the streaming "
+        f"rollup is doing too much per-cycle work"
+    )
+
+
+def test_monitor_actually_monitored(report):
+    """The timed configuration is live — windows close, SLOs evaluate."""
+    monitor = _make_monitor()
+    scheduler = ShareStreamsScheduler(*_arch_streams(), observer=monitor)
+    _run_feed(scheduler, 0, WARMUP + CYCLES)
+    monitor.finalize()
+    assert monitor.rollup.windows_closed == (WARMUP + CYCLES) // WINDOW + 1
+    assert monitor.slo.windows_evaluated == monitor.rollup.windows_closed
+    assert monitor.violations == []  # generous budgets: clean run
+    report(
+        "Monitored run sanity",
+        f"{monitor.rollup.windows_closed} windows closed and evaluated, "
+        f"0 violations (budgets sized to the feed)",
+    )
+
+
+def test_telemetry_off_is_one_guard_per_cycle(report):
+    scheduler = ShareStreamsScheduler(*_arch_streams(), observer=None)
+    _run_feed(scheduler, 0, 200)
+    assert scheduler.observer is None
+    report(
+        "Telemetry-off path",
+        "observer=None run completed; per-cycle cost is one "
+        "`is not None` guard (no monitor imports, no rollup state)",
+    )

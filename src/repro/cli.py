@@ -344,10 +344,63 @@ def _cmd_isolation(args) -> None:
     )
 
 
+def _cmd_monitor(args) -> None:
+    """Live conformance dashboard over the fair-share endsystem run.
+
+    Runs the Figure 8 workload (four backlogged streams at 1:1:2:4)
+    with a :class:`~repro.observability.monitor.ConformanceMonitor`
+    attached — share-band SLOs around the paper's targets — and
+    redraws a terminal dashboard every rollup window.  ``--slo`` /
+    ``--flight-recorder`` / ``--serve-metrics`` compose as with the
+    experiment subcommands.
+    """
+    from repro.endsystem.host import EndsystemConfig, EndsystemRouter
+    from repro.observability import Dashboard
+    from repro.traffic.specs import ratio_workload
+
+    obs = args.observability  # always built for this subcommand
+    dashboard = Dashboard(obs.monitor).attach()
+    specs = ratio_workload(_MONITOR_RATIOS, frames_per_stream=args.frames or 4000)
+    router = EndsystemRouter(
+        specs, EndsystemConfig(engine=args.engine), observer=obs
+    )
+    router.run(preload=True)
+    if dashboard.frames_drawn == 0:
+        dashboard.draw()  # run shorter than one window: show the flush
+    print()
+    print(obs.monitor.report())
+
+
+#: The Figure 8/10 bandwidth split the monitor subcommand watches.
+_MONITOR_RATIOS = (1, 1, 2, 4)
+
+
+def _default_slos(experiment: str):
+    """Per-experiment default objectives for ``--slo``.
+
+    * fair-share runs (figure8 / figure10 / monitor) get share-band
+      SLOs around the 1:1:2:4 targets of Figures 8 and 10;
+    * table3 gets zero miss budgets — the max-finding configuration is
+      the paper's own overload case, and flagging it demonstrates
+      detection (block max-first stays clean);
+    * everything else monitors rollups without objectives.
+    """
+    from repro.observability import StreamSlo, slos_from_shares
+
+    if experiment in ("figure8", "figure10", "monitor"):
+        return slos_from_shares(
+            {sid: float(r) for sid, r in enumerate(_MONITOR_RATIOS)}
+        )
+    if experiment == "table3":
+        return [StreamSlo(sid=i, miss_budget=0) for i in range(4)]
+    return []
+
+
 #: Experiments whose drivers accept the telemetry hook.
-_OBSERVABLE = {"table3", "figure8", "figure9", "figure10", "isolation"}
+_OBSERVABLE = {"table3", "figure8", "figure9", "figure10", "isolation", "monitor"}
 
 _COMMANDS = {
+    "monitor": _cmd_monitor,
     "verilog": _cmd_verilog,
     "isolation": _cmd_isolation,
     "table1": _cmd_table1,
@@ -409,26 +462,87 @@ def main(argv: list[str] | None = None) -> int:
         help="write the run's metrics registry to PATH "
         "(.json -> JSON, anything else -> Prometheus text format)",
     )
+    parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="evaluate per-stream SLOs online (streaming rollups + "
+        "violation detection; default objectives per experiment)",
+    )
+    parser.add_argument(
+        "--slo-window",
+        type=int,
+        metavar="CYCLES",
+        default=256,
+        help="rollup window size in decision cycles (default 256)",
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        metavar="DIR",
+        default=None,
+        help="dump the last decision cycles before each SLO violation "
+        "to DIR as canonical JSONL (implies --slo)",
+    )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve /metrics (Prometheus), /rollups and /violations "
+        "over HTTP for the duration of the run (0 = ephemeral port)",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(_COMMANDS):
             print(name)
         return 0
+    monitoring = (
+        args.slo or args.flight_recorder is not None
+        or args.experiment == "monitor"
+    )
+    telemetry = (
+        args.trace or args.metrics_out or monitoring
+        or args.serve_metrics is not None
+    )
     args.observability = None
-    if args.trace or args.metrics_out:
+    if telemetry:
         if args.experiment not in _OBSERVABLE:
             parser.error(
-                f"--trace/--metrics-out supported for: "
+                f"--trace/--metrics-out/--slo/--flight-recorder/"
+                f"--serve-metrics supported for: "
                 f"{', '.join(sorted(_OBSERVABLE))}"
             )
         from repro.observability import Observability
 
         args.observability = Observability()
-    _COMMANDS[args.experiment](args)
+        if monitoring:
+            from repro.observability import ConformanceMonitor
+
+            args.observability.monitor = ConformanceMonitor(
+                _default_slos(args.experiment),
+                window_cycles=args.slo_window,
+                registry=args.observability.metrics,
+                dump_dir=args.flight_recorder,
+            )
     obs = args.observability
+    server = None
+    if args.serve_metrics is not None:
+        from repro.observability import TelemetryServer
+
+        server = TelemetryServer(
+            obs.metrics, monitor=obs.monitor, port=args.serve_metrics
+        ).start()
+        print(f"serving telemetry at {server.url}/metrics")
+    try:
+        _COMMANDS[args.experiment](args)
+    finally:
+        if server is not None:
+            server.stop()
     if obs is not None:
+        obs.finalize()
         if args.trace:
             print(obs.render())
+        if monitoring and args.experiment != "monitor":
+            print(obs.monitor.report())
         if args.metrics_out:
             from repro.metrics.export import write_metrics
 

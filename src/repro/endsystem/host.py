@@ -310,6 +310,9 @@ class EndsystemRouter:
             self._schedule_arrivals()
         self.sim.schedule(0.0, self._service)
         self.sim.run(max_events=max_events)
+        finalize = getattr(self.observer, "finalize", None)
+        if finalize is not None:
+            finalize()  # flush the conformance monitor's partial window
         return EndsystemResult(
             elapsed_us=self.sim.now,
             frames_sent=self.te.frames_sent,

@@ -134,6 +134,9 @@ def _run_sharestreams(
                     tight_delays.append(t - packet.arrival)
             else:
                 be_served += 1
+    finalize = getattr(observer, "finalize", None)
+    if finalize is not None:
+        finalize()  # flush the conformance monitor's partial window
     # Unserved rt packets past their deadline at the horizon count too.
     for sid in range(n_rt):
         slot = scheduler.slot(sid)

@@ -70,6 +70,13 @@ class Table3Result:
         return sum(r.missed_deadlines for r in self.rows)
 
 
+def _finalize_observer(observer) -> None:
+    """Flush the telemetry monitor's partial rollup window, if any."""
+    finalize = getattr(observer, "finalize", None)
+    if finalize is not None:
+        finalize()
+
+
 def _make_scheduler(
     routing: Routing, block_mode: BlockMode, engine: str, observer=None
 ):
@@ -124,6 +131,7 @@ def run_max_finding(
                 # streams; request period T_i = 1 within each stream.
                 scheduler.enqueue(sid, deadline=(sid + 1) + t, arrival=t)
             scheduler.decision_cycle(t, consume="winner", count_misses=True)
+    _finalize_observer(observer)
     counters = scheduler.counters()
     rows = tuple(
         StreamRow(
@@ -203,6 +211,7 @@ def run_block(
                 for sid, _packet in outcome.serviced:
                     if sid != outcome.circulated_sid:
                         missed[sid] += 1
+    _finalize_observer(observer)
     counters = scheduler.counters()
     rows = tuple(
         StreamRow(

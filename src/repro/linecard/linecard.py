@@ -120,6 +120,9 @@ class Linecard:
         profiler = getattr(self.observer, "profiler", None)
         if profiler is not None:
             profiler.add_cycles("linecard.decide", hw_cycles)
+        finalize = getattr(self.observer, "finalize", None)
+        if finalize is not None:
+            finalize()  # flush the conformance monitor's partial window
 
     def model_throughput_pps(self, *, block: bool = False) -> float:
         """Analytic throughput (no behavioral run), for cross-checks."""

@@ -9,6 +9,7 @@ the observability registry in Prometheus text or JSON form.
 from __future__ import annotations
 
 import csv
+import warnings
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -97,13 +98,28 @@ def write_metrics_json(path: str | Path, registry: MetricsRegistry) -> Path:
     return path
 
 
+#: Suffixes recognized as explicit Prometheus-text requests; anything
+#: else (bar ``.json``) still writes Prometheus text but warns, so a
+#: typo like ``.jsno`` is not silently exported in the wrong format.
+KNOWN_TEXT_SUFFIXES = frozenset({".prom", ".txt", ".prometheus", ".metrics"})
+
+
 def write_metrics(path: str | Path, registry: MetricsRegistry) -> Path:
     """Write a metrics registry; format picked by suffix.
 
     ``.json`` gets the JSON snapshot, anything else the Prometheus
-    text format (the ``.prom`` convention).
+    text format (the ``.prom`` convention).  Unrecognized suffixes
+    fall through to Prometheus text with a ``UserWarning``.
     """
     path = Path(path)
     if path.suffix == ".json":
         return write_metrics_json(path, registry)
+    if path.suffix not in KNOWN_TEXT_SUFFIXES:
+        warnings.warn(
+            f"unrecognized metrics suffix {path.suffix!r} on {path.name!r}: "
+            f"writing Prometheus text format (use .json for JSON, or one "
+            f"of {sorted(KNOWN_TEXT_SUFFIXES)} to silence this warning)",
+            UserWarning,
+            stacklevel=2,
+        )
     return write_metrics_prometheus(path, registry)

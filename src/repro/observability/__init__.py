@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 
+from repro.observability.dashboard import Dashboard
 from repro.observability.events import (
     DecisionEvent,
     TraceRecorder,
@@ -30,6 +31,7 @@ from repro.observability.events import (
     events_from_outcome,
     serialize_events,
 )
+from repro.observability.flightrecorder import FlightDump, FlightRecorder
 from repro.observability.hooks import (
     CompositeObserver,
     DecisionObserver,
@@ -44,14 +46,34 @@ from repro.observability.metrics import (
     MetricsRegistry,
     parse_prometheus_text,
 )
+from repro.observability.monitor import (
+    ConformanceMonitor,
+    SloMonitor,
+    SloViolation,
+    StreamSlo,
+    slos_from_shares,
+    slos_from_streams,
+)
 from repro.observability.profiling import PhaseProfiler, PhaseStat
+from repro.observability.rollup import (
+    GapSketch,
+    RollupObserver,
+    StreamWindowStats,
+    WindowRollup,
+)
+from repro.observability.server import TelemetryServer
 from repro.observability.tracelog import TraceEvent, TraceLog
 
 __all__ = [
     "CompositeObserver",
+    "ConformanceMonitor",
     "Counter",
+    "Dashboard",
     "DecisionEvent",
     "DecisionObserver",
+    "FlightDump",
+    "FlightRecorder",
+    "GapSketch",
     "Gauge",
     "Histogram",
     "LegacyTraceObserver",
@@ -60,14 +82,23 @@ __all__ = [
     "Observability",
     "PhaseProfiler",
     "PhaseStat",
+    "RollupObserver",
+    "SloMonitor",
+    "SloViolation",
+    "StreamSlo",
+    "StreamWindowStats",
+    "TelemetryServer",
     "TraceEvent",
     "TraceLog",
     "TraceRecorder",
+    "WindowRollup",
     "deserialize_events",
     "events_from_outcome",
     "parse_prometheus_text",
     "resolve_observer",
     "serialize_events",
+    "slos_from_shares",
+    "slos_from_streams",
 ]
 
 
@@ -86,6 +117,10 @@ class Observability:
         Maintain the standard scheduling metrics.
     profile:
         Accumulate per-phase wall time (drivers call :meth:`phase`).
+    monitor:
+        Optional :class:`~repro.observability.monitor.ConformanceMonitor`
+        (streaming rollups + SLO evaluation + flight recorder) fed from
+        the same hook; see ``repro.observability.monitor``.
     trace_capacity:
         Ring capacity of the decision-trace recorder.
     metrics_prefix:
@@ -98,6 +133,7 @@ class Observability:
         trace: bool = True,
         metrics: bool = True,
         profile: bool = True,
+        monitor=None,
         trace_capacity: int = 1_000_000,
         metrics_prefix: str = "sharestreams",
     ) -> None:
@@ -110,6 +146,7 @@ class Observability:
         )
         self._prefix = metrics_prefix
         self.profiler = PhaseProfiler() if profile else None
+        self.monitor = monitor
 
     # -- engine hook protocol ------------------------------------------
 
@@ -119,6 +156,8 @@ class Observability:
             self.recorder.on_decision(outcome)
         if self._metrics_observer is not None:
             self._metrics_observer.on_decision(outcome)
+        if self.monitor is not None:
+            self.monitor.on_decision(outcome)
 
     def on_run_summary(self, result) -> None:
         """Fold a whole-run summary (``PeriodicRunResult``) into metrics.
@@ -128,6 +167,8 @@ class Observability:
         it exists to avoid); instead it reports its final per-stream
         counters here as gauges.
         """
+        if self.monitor is not None:
+            self.monitor.on_run_summary(result)
         if self.metrics is None:
             return
         serviced = self.metrics.gauge(
@@ -149,6 +190,15 @@ class Observability:
                 wins.set(int(result.wins[sid]), stream=sid)
                 misses.set(int(result.misses[sid]), stream=sid)
 
+    def finalize(self) -> None:
+        """End-of-run hook: flush the monitor's partial rollup window.
+
+        Drivers call this once after the last decision cycle; safe to
+        call with monitoring disabled (it is then a no-op).
+        """
+        if self.monitor is not None:
+            self.monitor.finalize()
+
     # -- driver-side helpers -------------------------------------------
 
     def phase(self, name: str):
@@ -168,6 +218,9 @@ class Observability:
             if report:
                 parts.append("== phase profile ==")
                 parts.append(self.profiler.render())
+        if self.monitor is not None:
+            parts.append("== conformance ==")
+            parts.append(self.monitor.report())
         if self.metrics is not None and self.metrics.names():
             parts.append("== metrics ==")
             parts.append(self.metrics.to_prometheus_text().rstrip("\n"))
@@ -184,3 +237,5 @@ class Observability:
             )
         if self.profiler is not None:
             self.profiler.clear()
+        if self.monitor is not None:
+            self.monitor.clear()

@@ -1,0 +1,125 @@
+"""Refreshing terminal dashboard for live conformance monitoring.
+
+Renders the state of a :class:`~repro.observability.monitor.ConformanceMonitor`
+as a fixed-layout text frame — per-stream rollup table of the latest
+window, recent-window summary strip, and the active-violation list —
+and redraws it as windows close.  Frames are plain strings, so the
+renderer is testable without a terminal; the driver only decides *how*
+to emit them (ANSI home+clear on a TTY, frame-per-window append
+otherwise, as ``repro monitor`` does).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+__all__ = ["Dashboard"]
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+class Dashboard:
+    """Turn monitor state into frames and stream them to a writer.
+
+    Parameters
+    ----------
+    monitor:
+        The conformance monitor to render.
+    out:
+        Destination stream (default: stdout).
+    ansi:
+        Clear-and-home before each frame (``None`` = auto: only when
+        ``out`` is a TTY).
+    recent:
+        Windows shown in the history strip.
+    """
+
+    def __init__(
+        self,
+        monitor,
+        *,
+        out: IO[str] | None = None,
+        ansi: bool | None = None,
+        recent: int = 8,
+    ) -> None:
+        self.monitor = monitor
+        self.out = out if out is not None else sys.stdout
+        if ansi is None:
+            ansi = bool(getattr(self.out, "isatty", lambda: False)())
+        self.ansi = ansi
+        self.recent = recent
+        self.frames_drawn = 0
+
+    def attach(self) -> "Dashboard":
+        """Subscribe to the monitor's rollup stream; returns self."""
+        self.monitor.rollup.subscribe(lambda _rollup: self.draw())
+        return self
+
+    # -- rendering -----------------------------------------------------
+
+    def render_frame(self) -> str:
+        """One complete dashboard frame as text."""
+        monitor = self.monitor
+        rollup = monitor.rollup.latest
+        lines = []
+        title = (
+            f"ShareStreams conformance monitor — "
+            f"window {monitor.rollup.window_cycles} cycles, "
+            f"{monitor.rollup.windows_closed} closed, "
+            f"{len(monitor.violations)} violation(s)"
+        )
+        lines.append(title)
+        lines.append("=" * len(title))
+        if rollup is None:
+            lines.append("(no finished window yet)")
+            return "\n".join(lines)
+        lines.append(
+            f"latest window {rollup.index}: cycles "
+            f"[{rollup.start_cycle}..{rollup.end_cycle}] "
+            f"serviced={rollup.total_serviced} misses={rollup.total_misses} "
+            f"drops={rollup.total_drops} idle={rollup.idle_cycles}"
+        )
+        lines.append(
+            f"{'sid':>4} {'serviced':>9} {'share':>7} {'misses':>7} "
+            f"{'drops':>6} {'gap p50':>8} {'gap p90':>8} {'gap max':>8} {'slo':>5}"
+        )
+        violating = {
+            v.sid for v in monitor.slo.active(rollup.index)
+        }
+        for sid, stats in sorted(rollup.streams.items()):
+            flag = "FAIL" if sid in violating else (
+                "ok" if sid in monitor.slo.slos else "-"
+            )
+            lines.append(
+                f"{sid:>4} {stats.serviced:>9} {stats.service_share:>7.3f} "
+                f"{stats.misses:>7} {stats.drops:>6} {stats.gap_p50:>8.1f} "
+                f"{stats.gap_p90:>8.1f} {stats.gap_max:>8.1f} {flag:>5}"
+            )
+        history = list(monitor.rollup.history)[-self.recent :]
+        if len(history) > 1:
+            strip = " ".join(
+                f"w{r.index}:{r.total_misses}m" for r in history
+            )
+            lines.append(f"recent windows (misses): {strip}")
+        active = monitor.slo.active(rollup.index)
+        if active:
+            lines.append("active violations:")
+            for violation in active:
+                lines.append("  " + violation.describe())
+        if monitor.flight is not None and monitor.flight.dumps:
+            lines.append(
+                f"flight dumps: {monitor.flight.dumps_written} "
+                f"(latest: {monitor.flight.dumps[-1].describe()})"
+            )
+        return "\n".join(lines)
+
+    def draw(self) -> None:
+        """Write one frame to the destination stream."""
+        frame = self.render_frame()
+        if self.ansi:
+            self.out.write(_CLEAR + frame + "\n")
+        else:
+            self.out.write(frame + "\n\n")
+        self.out.flush()
+        self.frames_drawn += 1

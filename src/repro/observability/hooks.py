@@ -27,6 +27,7 @@ Observers provided here:
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Protocol, runtime_checkable
 
 from repro.observability.metrics import MetricsRegistry
@@ -49,23 +50,64 @@ class DecisionObserver(Protocol):
 
 
 class CompositeObserver:
-    """Fan one decision stream out to several observers."""
+    """Fan one decision stream out to several observers.
 
-    __slots__ = ("observers",)
+    Delivery policy (tested in ``tests/test_observability_hooks.py``):
+
+    * observers receive every event in **registration order**;
+    * a raising observer is **isolated** — its exception is caught and
+      recorded (bounded :attr:`errors` list, one ``RuntimeWarning`` per
+      offending observer) and the remaining observers still receive the
+      event.  Telemetry must never take down the scheduling run, and
+      one broken sink must never silence the others.
+    """
+
+    __slots__ = ("observers", "errors", "_warned")
+
+    #: Retained ``(observer_index, hook_name, exception)`` records.
+    MAX_ERRORS = 100
 
     def __init__(self, observers: Iterable) -> None:
         self.observers = tuple(observers)
+        self.errors: list[tuple[int, str, BaseException]] = []
+        self._warned: set[int] = set()
+
+    def _dispatch(self, index, obs, hook_name, call) -> None:
+        try:
+            call()
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            if len(self.errors) < self.MAX_ERRORS:
+                self.errors.append((index, hook_name, exc))
+            if index not in self._warned:
+                self._warned.add(index)
+                warnings.warn(
+                    f"observer {index} ({type(obs).__name__}) raised in "
+                    f"{hook_name} and is being isolated: {exc!r}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     def on_decision(self, outcome) -> None:
-        for obs in self.observers:
-            obs.on_decision(outcome)
+        for index, obs in enumerate(self.observers):
+            self._dispatch(
+                index, obs, "on_decision", lambda: obs.on_decision(outcome)
+            )
 
     def on_run_summary(self, result) -> None:
         """Forward whole-run summaries to observers that accept them."""
-        for obs in self.observers:
+        for index, obs in enumerate(self.observers):
             hook = getattr(obs, "on_run_summary", None)
             if hook is not None:
-                hook(result)
+                self._dispatch(
+                    index, obs, "on_run_summary", lambda: hook(result)
+                )
+
+    def finalize(self) -> None:
+        """Forward end-of-run finalization to observers that accept it."""
+        for index, obs in enumerate(self.observers):
+            hook = getattr(obs, "finalize", None)
+            if hook is not None:
+                self._dispatch(index, obs, "finalize", hook)
 
 
 class LegacyTraceObserver:

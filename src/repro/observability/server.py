@@ -1,0 +1,169 @@
+"""Live telemetry endpoint: stdlib-``http.server`` Prometheus scrape.
+
+Serves the conformance-monitoring state of a running (or finished)
+experiment over HTTP with zero third-party dependencies:
+
+* ``GET /metrics`` — the attached
+  :class:`~repro.observability.metrics.MetricsRegistry` in Prometheus
+  text exposition format (0.0.4); the output round-trips through the
+  strict :func:`~repro.observability.metrics.parse_prometheus_text`
+  parser, which the endpoint smoke test asserts;
+* ``GET /rollups`` — recent :class:`WindowRollup` records as JSON
+  (when a :class:`~repro.observability.monitor.ConformanceMonitor` is
+  attached);
+* ``GET /violations`` — every recorded ``SloViolation`` as JSON;
+* ``GET /healthz`` — liveness probe (``ok``).
+
+The server is a ``ThreadingHTTPServer`` on a daemon thread: binding
+``port=0`` picks an ephemeral port (exposed as :attr:`TelemetryServer.port`
+after :meth:`start`), and :meth:`stop` shuts it down cleanly.  Reads of
+registry/monitor state are snapshot-style (render-then-send), which is
+safe for the single-threaded simulation loop these attach to.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+__all__ = ["TelemetryServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "sharestreams-telemetry/1.0"
+
+    # set by TelemetryServer on the server instance
+    def _telemetry(self):
+        return self.server.telemetry  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        telemetry = self._telemetry()
+        if path == "/metrics":
+            self._send(200, telemetry.metrics_text(), "text/plain; version=0.0.4")
+        elif path == "/rollups":
+            self._send_json(telemetry.rollups_payload())
+        elif path == "/violations":
+            self._send_json(telemetry.violations_payload())
+        elif path in ("/healthz", "/"):
+            self._send(200, "ok\n", "text/plain")
+        else:
+            self._send(404, "not found\n", "text/plain")
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, payload: Any) -> None:
+        self._send(
+            200,
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            "application/json",
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (tests and CLI runs)."""
+
+
+class TelemetryServer:
+    """Background HTTP server exposing metrics + conformance state.
+
+    Parameters
+    ----------
+    registry:
+        The metrics registry rendered at ``/metrics``.
+    monitor:
+        Optional :class:`~repro.observability.monitor.ConformanceMonitor`
+        backing ``/rollups`` and ``/violations`` (both return empty
+        payloads when absent).
+    host / port:
+        Bind address; ``port=0`` selects an ephemeral port.
+    """
+
+    def __init__(
+        self, registry, *, monitor=None, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.registry = registry
+        self.monitor = monitor
+        self._bind = (host, port)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve on a daemon thread; returns self for chaining."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        httpd = ThreadingHTTPServer(self._bind, _Handler)
+        httpd.daemon_threads = True
+        httpd.telemetry = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="sharestreams-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        """The bound port (ephemeral ports resolve after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        host, _ = self._bind
+        return f"http://{host}:{self.port}"
+
+    # -- payload renderers (called from handler threads) ---------------
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the attached registry."""
+        return self.registry.to_prometheus_text()
+
+    def rollups_payload(self) -> dict[str, Any]:
+        """Recent rollup windows as plain JSON."""
+        if self.monitor is None:
+            return {"windows": []}
+        return {
+            "window_cycles": self.monitor.rollup.window_cycles,
+            "windows_closed": self.monitor.rollup.windows_closed,
+            "windows": [r.to_dict() for r in self.monitor.rollup.history],
+        }
+
+    def violations_payload(self) -> dict[str, Any]:
+        """Every recorded violation as plain JSON."""
+        if self.monitor is None:
+            return {"violations": []}
+        return {
+            "windows_evaluated": self.monitor.slo.windows_evaluated,
+            "violations": [v.to_dict() for v in self.monitor.violations],
+        }

@@ -1,15 +1,25 @@
-"""Backward-compatible re-export of the absorbed trace log.
+"""Deprecated re-export of the absorbed trace log.
 
 The structured event tracing that used to live here is now part of the
 unified observability layer (``repro.observability``): the
 category-tagged :class:`TraceLog` moved to
 :mod:`repro.observability.tracelog`, and the engine-emitted structured
 decision trace lives in :mod:`repro.observability.events`.  This module
-keeps the historical import path working.
+keeps the historical import path working but warns on import; migrate
+to ``repro.observability.tracelog``.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.observability.tracelog import TraceEvent, TraceLog
+
+warnings.warn(
+    "repro.sim.trace is deprecated; import TraceEvent/TraceLog from "
+    "repro.observability.tracelog (or repro.observability) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["TraceEvent", "TraceLog"]

@@ -111,3 +111,58 @@ class TestCLITelemetry:
     def test_telemetry_rejected_for_unsupported_command(self):
         with pytest.raises(SystemExit):
             main(["table1", "--trace"])
+
+
+class TestCLIMonitoring:
+    def test_monitor_subcommand_draws_dashboard_and_report(self, capsys):
+        assert main(["monitor", "--frames", "300", "--slo-window", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance monitor" in out
+        assert "windows evaluated:" in out
+
+    def test_slo_flag_prints_conformance_report(self, capsys):
+        assert main(
+            ["figure8", "--frames", "400", "--slo", "--slo-window", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "windows evaluated:" in out
+        assert "objectives on 4 streams" in out
+        # the figure table still renders alongside the report
+        assert "ratio" in out
+
+    def test_flight_recorder_writes_canonical_dumps(self, capsys, tmp_path):
+        from repro.observability import deserialize_events
+
+        dump_dir = tmp_path / "dumps"
+        # table3 max-finding is the paper's own overload case: zero miss
+        # budgets guarantee violations, hence flight dumps on disk.
+        assert main(
+            [
+                "table3",
+                "--frames",
+                "200",
+                "--flight-recorder",
+                str(dump_dir),
+                "--slo-window",
+                "64",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flight dumps:" in out
+        jsonl = sorted(dump_dir.glob("flight-*.jsonl"))
+        assert jsonl, "no flight dumps written"
+        assert deserialize_events(jsonl[0].read_bytes())
+
+    def test_serve_metrics_announces_endpoint(self, capsys):
+        assert main(
+            ["figure8", "--frames", "400", "--serve-metrics", "0"]
+        ) == 0
+        assert "serving telemetry at http://" in capsys.readouterr().out
+
+    def test_slo_rejected_for_unsupported_command(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--slo"])
+
+    def test_flight_recorder_rejected_for_unsupported_command(self):
+        with pytest.raises(SystemExit):
+            main(["figure7", "--flight-recorder", "/tmp/nope"])

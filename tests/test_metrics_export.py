@@ -120,6 +120,24 @@ class TestMetricsExport:
         assert txt.read_text() == prom.read_text()
         assert json.loads(js.read_text()) == r.snapshot()
 
+    def test_known_suffixes_stay_silent(self, tmp_path, recwarn):
+        r = self._registry()
+        write_metrics(tmp_path / "a.prom", r)
+        write_metrics(tmp_path / "b.txt", r)
+        write_metrics(tmp_path / "c.json", r)
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_bogus_suffix_warns_but_writes_prometheus(self, tmp_path):
+        r = self._registry()
+        with pytest.warns(UserWarning, match="unrecognized metrics suffix"):
+            path = write_metrics(tmp_path / "m.jsno", r)
+        # The typo'd path still gets valid Prometheus text, not JSON.
+        assert parse_prometheus_text(path.read_text()) == r.snapshot()
+
+    def test_suffixless_path_warns(self, tmp_path):
+        with pytest.warns(UserWarning, match="unrecognized metrics suffix"):
+            write_metrics(tmp_path / "metrics", self._registry())
+
     def test_creates_parent_dirs(self, tmp_path):
         path = write_metrics(tmp_path / "x" / "y" / "m.prom", self._registry())
         assert path.exists()

@@ -1,0 +1,165 @@
+"""Tests for the observer hook protocol plumbing.
+
+CompositeObserver's delivery policy (registration order, exception
+isolation) is load-bearing for conformance monitoring: the monitor
+composes with the metrics observer and the legacy trace through this
+class, and a broken telemetry sink must never take down the scheduling
+run or silence its peers.
+"""
+
+import pytest
+
+from repro.observability import CompositeObserver, resolve_observer
+from repro.observability.hooks import LegacyTraceObserver
+from tests.test_observability_rollup import FakeOutcome
+
+
+class Recorder:
+    def __init__(self, log, name):
+        self.log = log
+        self.name = name
+
+    def on_decision(self, outcome):
+        self.log.append((self.name, "decision", outcome.now))
+
+    def on_run_summary(self, result):
+        self.log.append((self.name, "summary", result))
+
+    def finalize(self):
+        self.log.append((self.name, "finalize", None))
+
+
+class Exploder:
+    def __init__(self, log=None):
+        self.log = log
+
+    def on_decision(self, outcome):
+        raise RuntimeError("boom")
+
+    def on_run_summary(self, result):
+        raise RuntimeError("summary boom")
+
+
+class TestOrdering:
+    def test_registration_order_preserved(self):
+        log = []
+        comp = CompositeObserver([Recorder(log, "a"), Recorder(log, "b")])
+        comp.on_decision(FakeOutcome(0))
+        comp.on_decision(FakeOutcome(1))
+        assert log == [
+            ("a", "decision", 0),
+            ("b", "decision", 0),
+            ("a", "decision", 1),
+            ("b", "decision", 1),
+        ]
+
+    def test_run_summary_forwarded_in_order_and_duck_typed(self):
+        log = []
+
+        class DecisionOnly:
+            def on_decision(self, outcome):
+                log.append(("d", "decision", outcome.now))
+
+        comp = CompositeObserver(
+            [Recorder(log, "a"), DecisionOnly(), Recorder(log, "b")]
+        )
+        comp.on_run_summary("result")
+        assert log == [("a", "summary", "result"), ("b", "summary", "result")]
+
+    def test_finalize_forwarded_to_supporting_observers(self):
+        log = []
+
+        class DecisionOnly:
+            def on_decision(self, outcome):
+                pass
+
+        comp = CompositeObserver(
+            [Recorder(log, "a"), DecisionOnly(), Recorder(log, "b")]
+        )
+        comp.finalize()
+        assert log == [("a", "finalize", None), ("b", "finalize", None)]
+
+
+class TestExceptionIsolation:
+    def test_failing_observer_does_not_silence_others(self):
+        log = []
+        comp = CompositeObserver(
+            [Recorder(log, "a"), Exploder(), Recorder(log, "b")]
+        )
+        with pytest.warns(RuntimeWarning, match="Exploder.*isolated"):
+            comp.on_decision(FakeOutcome(0))
+        # Both healthy observers saw the event; the error was recorded.
+        assert log == [("a", "decision", 0), ("b", "decision", 0)]
+        assert len(comp.errors) == 1
+        index, hook, exc = comp.errors[0]
+        assert index == 1 and hook == "on_decision"
+        assert isinstance(exc, RuntimeError)
+
+    def test_warning_emitted_once_per_observer(self):
+        import warnings
+
+        comp = CompositeObserver([Exploder()])
+        with pytest.warns(RuntimeWarning):
+            comp.on_decision(FakeOutcome(0))
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            comp.on_decision(FakeOutcome(1))
+        assert not [w for w in record if w.category is RuntimeWarning]
+        assert len(comp.errors) == 2  # errors still recorded
+
+    def test_error_list_is_bounded(self):
+        comp = CompositeObserver([Exploder()])
+        with pytest.warns(RuntimeWarning):
+            for t in range(CompositeObserver.MAX_ERRORS + 50):
+                comp.on_decision(FakeOutcome(t))
+        assert len(comp.errors) == CompositeObserver.MAX_ERRORS
+
+    def test_run_summary_isolation(self):
+        log = []
+        comp = CompositeObserver([Exploder(), Recorder(log, "a")])
+        with pytest.warns(RuntimeWarning, match="on_run_summary"):
+            comp.on_run_summary("result")
+        assert log == [("a", "summary", "result")]
+
+    def test_engine_run_survives_poisoned_observer(self):
+        """End to end: a raising observer composed with a healthy one
+        must not perturb the scheduling run or the healthy telemetry."""
+        from repro.core.attributes import SchedulingMode, StreamConfig
+        from repro.core.config import ArchConfig, Routing
+        from repro.core.scheduler import ShareStreamsScheduler
+
+        log = []
+        comp = CompositeObserver([Exploder(), Recorder(log, "ok")])
+        arch = ArchConfig(n_slots=2, routing=Routing.WR, wrap=False)
+        streams = [
+            StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+            for i in range(2)
+        ]
+        s = ShareStreamsScheduler(arch, streams, observer=comp)
+        with pytest.warns(RuntimeWarning):
+            for t in range(4):
+                s.enqueue(0, deadline=t + 1, arrival=t)
+                s.decision_cycle(t, consume="winner")
+        assert len(log) == 4
+        assert len(comp.errors) == 4
+
+
+class TestResolveObserver:
+    def test_none_stays_none(self):
+        assert resolve_observer(None, None) is None
+
+    def test_single_observer_passes_through(self):
+        obs = Recorder([], "a")
+        assert resolve_observer(None, obs) is obs
+
+    def test_trace_plus_observer_composes_observer_first(self):
+        obs = Recorder([], "a")
+
+        class Log:
+            def emit(self, *a, **k):
+                pass
+
+        combined = resolve_observer(Log(), obs)
+        assert isinstance(combined, CompositeObserver)
+        assert combined.observers[0] is obs
+        assert isinstance(combined.observers[1], LegacyTraceObserver)

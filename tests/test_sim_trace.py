@@ -1,8 +1,55 @@
-"""Tests for the structured trace log."""
+"""Tests for the structured trace log (and its deprecated shim)."""
+
+import importlib
+import os
+import subprocess
+import sys
 
 import pytest
 
-from repro.sim.trace import TraceLog
+from repro.observability.tracelog import TraceLog
+
+
+class TestDeprecatedShim:
+    """``repro.sim.trace`` is a pure re-export since the observability
+    layer absorbed it; importing it must warn, importing ``repro.sim``
+    must not (it routes through the canonical home)."""
+
+    def test_import_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.sim.trace is deprecated"):
+            import repro.sim.trace as shim
+
+            importlib.reload(shim)
+
+    def test_shim_still_reexports_canonical_classes(self):
+        from repro.observability.tracelog import TraceEvent
+
+        import repro.sim.trace as shim
+
+        assert shim.TraceLog is TraceLog
+        assert shim.TraceEvent is TraceEvent
+
+    def test_package_import_stays_warning_free(self):
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-W",
+                "error::DeprecationWarning",
+                "-c",
+                "import repro.sim; repro.sim.TraceLog",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
 
 
 class TestEmit:

@@ -1,0 +1,190 @@
+"""Tests for the live /metrics HTTP endpoint and the dashboard."""
+
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.observability import (
+    ConformanceMonitor,
+    Dashboard,
+    MetricsRegistry,
+    StreamSlo,
+    TelemetryServer,
+    parse_prometheus_text,
+)
+from tests.test_observability_rollup import FakeOutcome
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    r.counter("demo_total", "a counter").inc(7, stream=0)
+    r.gauge("demo_depth", "a gauge").set(4.5)
+    r.histogram("demo_hist", "a histogram", buckets=(1, 8)).observe(3)
+    return r
+
+
+class TestMetricsEndpoint:
+    def test_scrape_round_trips_through_strict_parser(self, registry):
+        """Acceptance criteria: /metrics output survives the strict
+        parse_prometheus_text round trip and equals the live snapshot."""
+        with TelemetryServer(registry) as server:
+            status, ctype, body = fetch(f"{server.url}/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert parse_prometheus_text(body.decode()) == registry.snapshot()
+
+    def test_scrape_reflects_live_updates(self, registry):
+        with TelemetryServer(registry) as server:
+            _, _, before = fetch(f"{server.url}/metrics")
+            registry.counter("demo_total").inc(5, stream=0)
+            _, _, after = fetch(f"{server.url}/metrics")
+        assert before != after
+        assert parse_prometheus_text(after.decode()) == registry.snapshot()
+
+    def test_ephemeral_port_resolves(self, registry):
+        server = TelemetryServer(registry, port=0)
+        with pytest.raises(RuntimeError):
+            server.port  # not started yet
+        try:
+            server.start()
+            assert server.port > 0
+        finally:
+            server.stop()
+
+    def test_double_start_rejected(self, registry):
+        with TelemetryServer(registry) as server:
+            with pytest.raises(RuntimeError):
+                server.start()
+
+    def test_stop_is_idempotent(self, registry):
+        server = TelemetryServer(registry).start()
+        server.stop()
+        server.stop()
+
+
+class TestMonitorEndpoints:
+    def _monitor(self):
+        monitor = ConformanceMonitor(
+            [StreamSlo(sid=0, miss_budget=0)],
+            window_cycles=2,
+            flight_recorder=False,
+        )
+        for t in range(4):
+            monitor.on_decision(
+                FakeOutcome(t, winner=0, serviced=(0,), misses=(0,))
+            )
+        return monitor
+
+    def test_rollups_payload(self, registry):
+        monitor = self._monitor()
+        with TelemetryServer(registry, monitor=monitor) as server:
+            status, ctype, body = fetch(f"{server.url}/rollups")
+        assert status == 200 and ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["window_cycles"] == 2
+        assert payload["windows_closed"] == 2
+        assert len(payload["windows"]) == 2
+        assert payload["windows"][0]["streams"]["0"]["misses"] == 2
+
+    def test_violations_payload(self, registry):
+        monitor = self._monitor()
+        with TelemetryServer(registry, monitor=monitor) as server:
+            _, _, body = fetch(f"{server.url}/violations")
+        payload = json.loads(body)
+        assert payload["windows_evaluated"] == 2
+        assert len(payload["violations"]) == 2
+        assert payload["violations"][0]["objective"] == "miss_budget"
+
+    def test_payloads_empty_without_monitor(self, registry):
+        with TelemetryServer(registry) as server:
+            _, _, rollups = fetch(f"{server.url}/rollups")
+            _, _, violations = fetch(f"{server.url}/violations")
+        assert json.loads(rollups) == {"windows": []}
+        assert json.loads(violations) == {"violations": []}
+
+    def test_healthz_and_404(self, registry):
+        with TelemetryServer(registry) as server:
+            status, _, body = fetch(f"{server.url}/healthz")
+            assert status == 200 and body == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch(f"{server.url}/nope")
+            assert exc.value.code == 404
+
+    def test_slo_metrics_appear_in_scrape(self):
+        """The monitor's violation counters land in the same registry
+        the endpoint serves."""
+        registry = MetricsRegistry()
+        monitor = ConformanceMonitor(
+            [StreamSlo(sid=0, miss_budget=0)],
+            window_cycles=2,
+            flight_recorder=False,
+            registry=registry,
+        )
+        for t in range(2):
+            monitor.on_decision(
+                FakeOutcome(t, winner=0, serviced=(0,), misses=(0,))
+            )
+        with TelemetryServer(registry, monitor=monitor) as server:
+            _, _, body = fetch(f"{server.url}/metrics")
+        parsed = parse_prometheus_text(body.decode())
+        samples = parsed["sharestreams_slo_violations_total"]["samples"]
+        assert sum(samples.values()) == 1
+
+
+class TestDashboard:
+    def _monitor(self, violate=True):
+        monitor = ConformanceMonitor(
+            [StreamSlo(sid=0, miss_budget=0 if violate else 10)],
+            window_cycles=2,
+            flight_capacity=4,
+        )
+        for t in range(4):
+            monitor.on_decision(
+                FakeOutcome(t, winner=0, serviced=(0,), misses=(0,))
+            )
+        return monitor
+
+    def test_frame_contents(self):
+        monitor = self._monitor()
+        frame = Dashboard(monitor, out=io.StringIO()).render_frame()
+        assert "conformance monitor" in frame
+        assert "FAIL" in frame
+        assert "active violations:" in frame
+        assert "flight dumps:" in frame
+
+    def test_clean_run_shows_ok(self):
+        monitor = self._monitor(violate=False)
+        frame = Dashboard(monitor, out=io.StringIO()).render_frame()
+        assert "FAIL" not in frame and " ok" in frame
+
+    def test_empty_monitor_renders(self):
+        monitor = ConformanceMonitor([], window_cycles=100)
+        frame = Dashboard(monitor, out=io.StringIO()).render_frame()
+        assert "no finished window yet" in frame
+
+    def test_attach_draws_every_window(self):
+        monitor = ConformanceMonitor([], window_cycles=2)
+        out = io.StringIO()
+        dash = Dashboard(monitor, out=out, ansi=False).attach()
+        for t in range(6):
+            monitor.on_decision(FakeOutcome(t, winner=0, serviced=(0,)))
+        assert dash.frames_drawn == 3
+        assert out.getvalue().count("conformance monitor") == 3
+
+    def test_ansi_mode_emits_clear_sequence(self):
+        monitor = self._monitor()
+        out = io.StringIO()
+        Dashboard(monitor, out=out, ansi=True).draw()
+        assert out.getvalue().startswith("\x1b[H\x1b[2J")
+
+    def test_non_tty_defaults_to_plain_frames(self):
+        dash = Dashboard(self._monitor(), out=io.StringIO())
+        assert dash.ansi is False
