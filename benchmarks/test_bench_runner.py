@@ -1,0 +1,77 @@
+"""Sharded-runner benchmark: parallel campaign speed and cache warmth.
+
+Benchmarks the differential cross-validation campaign through
+``repro.runner`` three ways — sequential, sharded across every
+available core, and from a warm on-disk scenario cache — and checks
+the two load-bearing properties on real timings:
+
+* the merged summary is byte-identical however the campaign executed;
+* a warm cache re-run does essentially no scheduling work.
+
+Wall-clock *speedup* from sharding is only asserted as "did not fall
+off a cliff" (CI runners and dev laptops share cores unpredictably);
+the cache ratio is asserted strictly, since skipping the work is the
+entire point.
+"""
+
+import time
+
+from repro.core.differential import campaign
+from repro.runner import available_parallelism
+
+#: Enough seeds that fork/merge overhead cannot dominate the timing.
+SEEDS = range(48)
+CYCLES = 300
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    result = campaign(SEEDS, n_cycles=CYCLES, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_parallel_campaign_equality_and_timing(benchmark, report):
+    workers = available_parallelism()
+    sequential, t_seq = _timed(workers=1)
+
+    result = benchmark.pedantic(
+        lambda: campaign(SEEDS, n_cycles=CYCLES, workers=workers),
+        rounds=1,
+        iterations=1,
+    )
+    t_par = benchmark.stats.stats.mean
+
+    assert result.passed and sequential.passed
+    assert result.summary_json() == sequential.summary_json()
+    report(
+        "Sharded differential campaign",
+        f"{result.scenarios} scenarios x {CYCLES} cycles\n"
+        f"sequential: {t_seq:.2f}s, {workers} workers: {t_par:.2f}s "
+        f"({t_seq / t_par:.2f}x)",
+    )
+    # Sharding must never be catastrophically slower than sequential
+    # (real speedup needs real cores; CI runners may have few).
+    assert t_par < t_seq * 3
+
+
+def test_cache_warm_rerun_is_fast(benchmark, report, tmp_path):
+    cold, t_cold = _timed(workers=1, cache_dir=tmp_path)
+    assert cold.executed == cold.scenarios
+
+    warm = benchmark.pedantic(
+        lambda: campaign(SEEDS, n_cycles=CYCLES, workers=1, cache_dir=tmp_path),
+        rounds=1,
+        iterations=1,
+    )
+    t_warm = benchmark.stats.stats.mean
+
+    assert warm.cached == warm.scenarios and warm.executed == 0
+    assert warm.summary_json() == cold.summary_json()
+    report(
+        "Warm scenario cache",
+        f"cold: {t_cold:.2f}s, warm: {t_warm:.3f}s "
+        f"({t_cold / t_warm:.0f}x)",
+    )
+    # Reading ~50 small JSON files must beat re-running ~50 simulations
+    # by a wide margin; 2x is an extremely loose floor for "it cached".
+    assert t_warm < t_cold * 0.5

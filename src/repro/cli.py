@@ -18,7 +18,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.config import BlockMode
 from repro.metrics.report import render_series, render_table
 
 __all__ = ["main"]
@@ -66,18 +65,16 @@ def _cmd_table2(args) -> None:
 
 
 def _cmd_table3(args) -> None:
-    from repro.experiments.table3 import run_block, run_max_finding
+    from repro.experiments.table3 import run_table3
 
     frames = args.frames or 16_000
-    mf = run_max_finding(frames, engine=args.engine, observer=args.observability)
-    bmax = run_block(
-        BlockMode.MAX_FIRST, frames, engine=args.engine,
-        observer=args.observability,
+    results = run_table3(
+        frames, engine=args.engine, observer=args.observability,
+        workers=args.workers,
     )
-    bmin = run_block(
-        BlockMode.MIN_FIRST, frames, engine=args.engine,
-        observer=args.observability,
-    )
+    mf = results["max_finding"]
+    bmax = results["block_max_first"]
+    bmin = results["block_min_first"]
     rows = []
     for i in range(4):
         rows.append(
@@ -396,8 +393,84 @@ def _default_slos(experiment: str):
     return []
 
 
+def _cmd_sweep(args) -> None:
+    """``--sweep`` path: run one figure/isolation experiment per value.
+
+    Values are workload sizes for the figures (frames per stream, or
+    burst size for figure9) and best-effort seeds for isolation;
+    points run through :func:`repro.runner.run_sharded`, so
+    ``--workers`` / ``--cache-dir`` apply and the merged summary is
+    identical for any worker count.
+    """
+    from repro.experiments.sweeps import sweep_figures, sweep_isolation
+
+    values = [int(v) for v in args.sweep.split(",") if v.strip()]
+    if args.experiment == "isolation":
+        result = sweep_isolation(
+            values,
+            horizon=args.frames or 4000,
+            engine=args.engine,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    else:
+        result = sweep_figures(
+            args.experiment,
+            values,
+            engine=args.engine,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    rows = []
+    for point in result.points:
+        for group, series in sorted(point.summary.items()):
+            if isinstance(series, dict):
+                for key, value in sorted(series.items()):
+                    rows.append(
+                        [point.param, group, key, _render_value(value)]
+                    )
+            else:  # isolation: list of per-system rows
+                for entry in series:
+                    rows.append(
+                        [
+                            point.param,
+                            entry["system"],
+                            f"miss {entry['rt_miss_rate']:.1%}",
+                            f"p99 {entry['tight_flow_p99_delay']:.1f}",
+                        ]
+                    )
+    from repro.experiments.sweeps import PARAM_NAMES
+
+    print(
+        render_table(
+            [PARAM_NAMES[args.experiment], "series", "key", "value"],
+            rows,
+            title=f"{args.experiment} sweep over {values} "
+            f"({result.executed} executed, {result.cached} cached, "
+            f"{result.workers} worker(s))",
+        )
+    )
+    for failure in result.failures:
+        print(f"FAILED {failure.describe()}")
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as fh:
+            fh.write(result.summary_json())
+        print(f"summary written to {args.summary_json}")
+    if not result.passed:
+        raise SystemExit(1)
+
+
+def _render_value(value) -> str:
+    return f"{value:.4f}" if isinstance(value, float) else str(value)
+
+
 #: Experiments whose drivers accept the telemetry hook.
 _OBSERVABLE = {"table3", "figure8", "figure9", "figure10", "isolation", "monitor"}
+
+#: Experiments ``--sweep`` can iterate (see repro.experiments.sweeps).
+_SWEEPABLE = {"figure8", "figure9", "figure10", "isolation"}
 
 _COMMANDS = {
     "monitor": _cmd_monitor,
@@ -490,10 +563,60 @@ def main(argv: list[str] | None = None) -> int:
         help="serve /metrics (Prometheus), /rollups and /violations "
         "over HTTP for the duration of the run (0 = ephemeral port)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for parallelizable runs (table3 "
+        "configurations, --sweep points; 0 = all cores; results are "
+        "identical for any value)",
+    )
+    parser.add_argument(
+        "--sweep",
+        metavar="V1,V2,...",
+        default=None,
+        help="run the experiment once per comma-separated value "
+        "(figure8/figure10: frames per stream, figure9: burst size, "
+        "isolation: best-effort seed) and tabulate the points",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk result cache for --sweep points (keyed on the "
+        "canonical config + engine + package version)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir (neither read nor write entries)",
+    )
+    parser.add_argument(
+        "--summary-json",
+        metavar="PATH",
+        default=None,
+        help="write the canonical --sweep summary to PATH "
+        "(byte-identical across --workers values)",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(_COMMANDS):
             print(name)
+        return 0
+    if args.sweep is not None:
+        if args.experiment not in _SWEEPABLE:
+            parser.error(
+                f"--sweep supported for: {', '.join(sorted(_SWEEPABLE))}"
+            )
+        if args.trace or args.slo or args.flight_recorder or args.metrics_out:
+            parser.error(
+                "--sweep points run headless; telemetry flags apply to "
+                "single runs only"
+            )
+        try:
+            _cmd_sweep(args)
+        except SystemExit as exc:
+            return int(exc.code or 0)
         return 0
     monitoring = (
         args.slo or args.flight_recorder is not None

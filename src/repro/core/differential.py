@@ -27,10 +27,19 @@ Run a standalone campaign with::
 
     PYTHONPATH=src python -m repro.core.differential --count 200
     PYTHONPATH=src python -m repro.core.differential --count 60 --trace-equivalence
+
+Campaigns are seed-indexed and embarrassingly parallel; ``--workers N``
+shards them across cores via :mod:`repro.runner` (merged summary
+byte-identical to the sequential run) and ``--cache-dir`` memoizes
+already-validated scenarios on disk so warm re-runs skip them::
+
+    PYTHONPATH=src python -m repro.core.differential \\
+        --count 200 --cycles 1000 --workers 4 --cache-dir .diffcache
 """
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
 
@@ -45,11 +54,13 @@ __all__ = [
     "CycleRecord",
     "EngineTrace",
     "Divergence",
+    "SeedOutcome",
     "generate_scenario",
     "build_engine",
     "run_engine",
     "cross_validate",
     "cross_validate_traces",
+    "validate_seed",
     "campaign",
 ]
 
@@ -347,6 +358,104 @@ def cross_validate_traces(scenario: Scenario) -> Divergence | None:
     return None
 
 
+@dataclass(frozen=True, slots=True)
+class SeedOutcome:
+    """One seed's contribution to a campaign (picklable, cache-able).
+
+    Coverage fields are enum *values* (plain strings) so the outcome
+    survives a JSON round-trip through the on-disk scenario cache
+    unchanged; only passing seeds are ever cached, so ``divergence``
+    is always ``None`` for cache hits.
+    """
+
+    seed: int
+    routing: str
+    block_mode: str
+    modes: tuple[str, ...]
+    divergence: Divergence | None = None
+
+
+def validate_seed(
+    seed: int, n_cycles: int = 1000, mode: str = "outcome"
+) -> SeedOutcome:
+    """Cross-validate one seed; the sharded campaign's unit of work.
+
+    Module-level and fully determined by its arguments, so it can run
+    in any worker process (:func:`repro.runner.run_sharded`) and its
+    result can be merged or cached independently of every other seed.
+    """
+    validate = cross_validate if mode == "outcome" else cross_validate_traces
+    scenario = generate_scenario(seed, n_cycles=n_cycles)
+    return SeedOutcome(
+        seed=seed,
+        routing=scenario.routing.value,
+        block_mode=scenario.block_mode.value,
+        modes=tuple(sorted({s.mode.value for s in scenario.streams})),
+        divergence=validate(scenario),
+    )
+
+
+def _scenario_cache_payload(seed: int, n_cycles: int, mode: str) -> dict:
+    """Canonical cache-key payload: the *resolved* scenario config.
+
+    Keyed on the full derived scenario (not just the seed) plus the
+    engine pair and comparison mode, so a generator change that alters
+    what a seed means invalidates its cache entry.  The package-version
+    token is folded in by :class:`~repro.runner.cache.ResultCache`.
+    """
+    scenario = generate_scenario(seed, n_cycles=n_cycles)
+    return {
+        "mode": mode,
+        "engines": ["reference", "batch"],
+        "scenario": {
+            "seed": scenario.seed,
+            "n_slots": scenario.n_slots,
+            "routing": scenario.routing.value,
+            "block_mode": scenario.block_mode.value,
+            "schedule": scenario.schedule,
+            "wrap": scenario.wrap,
+            "extended": scenario.extended,
+            "n_cycles": scenario.n_cycles,
+            "consume": scenario.consume,
+            "count_misses": scenario.count_misses,
+            "drop_late_prob": scenario.drop_late_prob,
+            "arrival_prob": scenario.arrival_prob,
+            "max_deadline_offset": scenario.max_deadline_offset,
+            "streams": [
+                {
+                    "sid": s.sid,
+                    "period": s.period,
+                    "loss_numerator": s.loss_numerator,
+                    "loss_denominator": s.loss_denominator,
+                    "initial_deadline": s.initial_deadline,
+                    "mode": s.mode.value,
+                    "extended": s.extended,
+                }
+                for s in scenario.streams
+            ],
+        },
+    }
+
+
+def _encode_outcome(outcome: SeedOutcome) -> dict:
+    """JSON cache value for a *passing* seed."""
+    return {
+        "seed": outcome.seed,
+        "routing": outcome.routing,
+        "block_mode": outcome.block_mode,
+        "modes": list(outcome.modes),
+    }
+
+
+def _decode_outcome(value: dict) -> SeedOutcome:
+    return SeedOutcome(
+        seed=int(value["seed"]),
+        routing=str(value["routing"]),
+        block_mode=str(value["block_mode"]),
+        modes=tuple(str(m) for m in value["modes"]),
+    )
+
+
 @dataclass(slots=True)
 class CampaignResult:
     """Summary of a differential campaign."""
@@ -356,10 +465,73 @@ class CampaignResult:
     routings: set = field(default_factory=set)
     block_modes: set = field(default_factory=set)
     modes: set = field(default_factory=set)
+    mode: str = "outcome"
+    n_cycles: int = 1000
+    #: Shard/item failures (:class:`repro.runner.ShardFailure`): seeds
+    #: that *died* (as opposed to diverging) without sinking the run.
+    failures: list = field(default_factory=list)
+    #: Seeds served from the on-disk scenario cache / actually executed.
+    cached: int = 0
+    executed: int = 0
+    workers: int = 1
 
     @property
     def passed(self) -> bool:
-        return not self.divergences
+        return not self.divergences and not self.failures
+
+    def summary(self) -> dict:
+        """Canonical merged summary (worker-count independent).
+
+        Contains only workload-derived facts — never execution details
+        like worker count or cache hits — so the ``--workers 4`` and
+        ``--workers 1`` runs of the same campaign serialize to
+        byte-identical JSON.
+        """
+        return {
+            "mode": self.mode,
+            "n_cycles": self.n_cycles,
+            "scenarios": self.scenarios,
+            "passed": self.passed,
+            "coverage": {
+                "routings": sorted(r.value for r in self.routings),
+                "block_modes": sorted(m.value for m in self.block_modes),
+                "modes": sorted(m.value for m in self.modes),
+            },
+            "divergences": [
+                {
+                    "seed": d.scenario.seed,
+                    "cycle": d.cycle,
+                    "field": d.field,
+                    "detail": str(d),
+                }
+                for d in self.divergences
+            ],
+            "failures": [
+                {
+                    "shard": f.shard,
+                    "seeds": list(f.items),
+                    "error": (
+                        f.error.strip().splitlines()[-1]
+                        if f.error.strip()
+                        else ""
+                    ),
+                }
+                for f in self.failures
+            ],
+        }
+
+    def summary_json(self) -> str:
+        """The :meth:`summary` as canonical JSON text."""
+        return json.dumps(self.summary(), sort_keys=True, indent=1) + "\n"
+
+
+def _fold_outcome(result: CampaignResult, outcome: SeedOutcome) -> None:
+    result.scenarios += 1
+    result.routings.add(Routing(outcome.routing))
+    result.block_modes.add(BlockMode(outcome.block_mode))
+    result.modes.update(SchedulingMode(m) for m in outcome.modes)
+    if outcome.divergence is not None:
+        result.divergences.append(outcome.divergence)
 
 
 def campaign(
@@ -368,6 +540,10 @@ def campaign(
     n_cycles: int = 1000,
     stop_on_divergence: bool = False,
     mode: str = "outcome",
+    workers: int | None = 1,
+    cache_dir=None,
+    use_cache: bool = True,
+    _task=None,
 ) -> CampaignResult:
     """Cross-validate one scenario per seed; aggregate coverage + failures.
 
@@ -375,27 +551,66 @@ def campaign(
     and final counters (the original harness);
     ``mode="trace"`` compares the engines' structured telemetry event
     streams (:func:`cross_validate_traces`).
+
+    ``workers`` shards the seed list across processes
+    (:func:`repro.runner.run_sharded`; ``0``/``None`` = all cores) —
+    seeds fold into the result in input order regardless of worker
+    count, so the merged summary is byte-identical to a sequential
+    run.  ``cache_dir`` enables the on-disk scenario cache (divergent
+    seeds are never cached and always revalidate); ``use_cache=False``
+    keeps the directory untouched.  ``stop_on_divergence`` forces the
+    sequential path (early exit is inherently order-dependent).
+
+    A seed whose worker *dies* (hard crash, lost shard) is reported in
+    ``result.failures`` with its shard's seed list rather than sinking
+    the whole campaign; ``result.passed`` is then ``False``.
     """
     if mode not in ("outcome", "trace"):
         raise ValueError(f"unknown campaign mode {mode!r}")
-    validate = cross_validate if mode == "outcome" else cross_validate_traces
-    result = CampaignResult()
-    for seed in seeds:
-        scenario = generate_scenario(seed, n_cycles=n_cycles)
-        result.scenarios += 1
-        result.routings.add(scenario.routing)
-        result.block_modes.add(scenario.block_mode)
-        result.modes.update(s.mode for s in scenario.streams)
-        divergence = validate(scenario)
-        if divergence is not None:
-            result.divergences.append(divergence)
-            if stop_on_divergence:
+    seeds = list(seeds)
+    result = CampaignResult(mode=mode, n_cycles=n_cycles)
+    if stop_on_divergence:
+        for seed in seeds:
+            outcome = validate_seed(seed, n_cycles, mode)
+            _fold_outcome(result, outcome)
+            result.executed += 1
+            if outcome.divergence is not None:
                 break
+        return result
+
+    from repro.runner import ResultCache, run_sharded
+
+    cache = None
+    if cache_dir is not None and use_cache:
+        cache = ResultCache(cache_dir, namespace=f"differential-{mode}")
+    pool = run_sharded(
+        _task if _task is not None else validate_seed,
+        seeds,
+        workers=workers,
+        task_args=(n_cycles, mode),
+        cache=cache,
+        cache_key=(
+            (lambda seed: _scenario_cache_payload(seed, n_cycles, mode))
+            if cache is not None
+            else None
+        ),
+        cache_encode=_encode_outcome,
+        cache_decode=_decode_outcome,
+        cache_if=lambda seed, outcome: outcome.divergence is None,
+    )
+    for outcome in pool.results:
+        if outcome is not None:
+            _fold_outcome(result, outcome)
+    result.failures = list(pool.failures)
+    result.cached = pool.cached
+    result.executed = pool.executed
+    result.workers = pool.workers
     return result
 
 
 def main(argv=None) -> int:  # pragma: no cover - CLI convenience
     import argparse
+    import time
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--count", type=int, default=200)
@@ -407,23 +622,67 @@ def main(argv=None) -> int:  # pragma: no cover - CLI convenience
         help="compare structured telemetry event streams instead of "
         "cycle outcomes (observability as a correctness oracle)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard the campaign across "
+        "(0 = all cores; merged summary is identical for any value)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk scenario cache: seeds whose canonical "
+        "(scenario, engines, version) hash already validated are "
+        "skipped on re-runs",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir (neither read nor write entries)",
+    )
+    parser.add_argument(
+        "--summary-json",
+        metavar="PATH",
+        default=None,
+        help="write the canonical merged campaign summary to PATH "
+        "(byte-identical across --workers values)",
+    )
     args = parser.parse_args(argv)
+    mode = "trace" if args.trace_equivalence else "outcome"
+    start = time.perf_counter()
     result = campaign(
         range(args.base_seed, args.base_seed + args.count),
         n_cycles=args.cycles,
-        mode="trace" if args.trace_equivalence else "outcome",
+        mode=mode,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
     )
+    elapsed = time.perf_counter() - start
     print(
-        f"{'trace' if args.trace_equivalence else 'outcome'} mode: "
+        f"{mode} mode: "
         f"{result.scenarios} scenarios, "
         f"{len(result.divergences)} divergences, "
         f"routings={sorted(r.value for r in result.routings)}, "
         f"block_modes={sorted(m.value for m in result.block_modes)}, "
         f"modes={sorted(m.value for m in result.modes)}"
     )
+    print(
+        f"executed {result.executed} seeds "
+        f"({result.cached} cached) on {result.workers} worker(s) "
+        f"in {elapsed:.2f}s"
+    )
     for divergence in result.divergences:
         print(divergence)
-    return 1 if result.divergences else 0
+    for failure in result.failures:
+        print(f"FAILED {failure.describe()}")
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as fh:
+            fh.write(result.summary_json())
+        print(f"summary written to {args.summary_json}")
+    return 0 if result.passed else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,7 +39,14 @@ from repro.core.attributes import SchedulingMode, StreamConfig
 from repro.core.batch_engine import BatchScheduler, make_scheduler
 from repro.core.config import ArchConfig, BlockMode, Routing
 
-__all__ = ["StreamRow", "Table3Result", "run_max_finding", "run_block", "run_table3"]
+__all__ = [
+    "CONFIGS",
+    "StreamRow",
+    "Table3Result",
+    "run_max_finding",
+    "run_block",
+    "run_table3",
+]
 
 #: The paper's experiment size: 16000 frames per stream, 4 streams.
 FRAMES_PER_STREAM = 16_000
@@ -234,23 +241,90 @@ def run_block(
     )
 
 
+#: The three Table 3 configurations, in presentation order.
+CONFIGS = ("max_finding", "block_max_first", "block_min_first")
+
+
+def _run_config(
+    key: str, frames_per_stream: int, engine: str, spec
+) -> tuple[Table3Result, dict | None]:
+    """One configuration as a sharded-runner task (module-level, picklable).
+
+    ``spec`` is the parent's picklable monitor recipe
+    (:func:`repro.runner.monitor_spec`); the worker rebuilds a private
+    observability facade from it and ships its telemetry back alongside
+    the result so the parent can merge shards in configuration order.
+    """
+    from repro.runner import build_worker_observability, telemetry_shard
+
+    obs = build_worker_observability(spec)
+    if key == "max_finding":
+        result = run_max_finding(frames_per_stream, engine=engine, observer=obs)
+    elif key == "block_max_first":
+        result = run_block(
+            BlockMode.MAX_FIRST, frames_per_stream, engine=engine, observer=obs
+        )
+    elif key == "block_min_first":
+        result = run_block(
+            BlockMode.MIN_FIRST, frames_per_stream, engine=engine, observer=obs
+        )
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown Table 3 configuration {key!r}")
+    return result, telemetry_shard(obs)
+
+
 def run_table3(
     frames_per_stream: int = FRAMES_PER_STREAM,
     *,
     engine: str = "reference",
     observer=None,
+    workers: int | None = 1,
 ) -> dict[str, Table3Result]:
-    """Run all three Table 3 configurations."""
+    """Run all three Table 3 configurations.
+
+    ``workers > 1`` runs the independent configurations in parallel
+    processes (:func:`repro.runner.run_sharded`).  The counters are
+    identical either way; telemetry differs in one documented respect:
+    parallel workers observe each configuration in isolation (fresh
+    registry + monitor per config, merged back in configuration
+    order), while the sequential path threads one shared observer
+    through all three runs.  A worker that dies raises ``RuntimeError``
+    naming the configurations it took down.
+    """
+    if workers == 1:
+        return {
+            "max_finding": run_max_finding(
+                frames_per_stream, engine=engine, observer=observer
+            ),
+            "block_max_first": run_block(
+                BlockMode.MAX_FIRST, frames_per_stream, engine=engine,
+                observer=observer,
+            ),
+            "block_min_first": run_block(
+                BlockMode.MIN_FIRST, frames_per_stream, engine=engine,
+                observer=observer,
+            ),
+        }
+    from repro.runner import absorb_telemetry, monitor_spec, run_sharded
+
+    spec = (
+        {"monitor": monitor_spec(observer)} if observer is not None else None
+    )
+    pool = run_sharded(
+        _run_config,
+        CONFIGS,
+        workers=workers,
+        task_args=(frames_per_stream, engine, spec),
+    )
+    if pool.failures:
+        raise RuntimeError(
+            "table3 worker failure: "
+            + "; ".join(f.describe() for f in pool.failures)
+        )
+    absorb_telemetry(
+        observer, (shard for _result, shard in pool.results)
+    )
     return {
-        "max_finding": run_max_finding(
-            frames_per_stream, engine=engine, observer=observer
-        ),
-        "block_max_first": run_block(
-            BlockMode.MAX_FIRST, frames_per_stream, engine=engine,
-            observer=observer,
-        ),
-        "block_min_first": run_block(
-            BlockMode.MIN_FIRST, frames_per_stream, engine=engine,
-            observer=observer,
-        ),
+        key: result
+        for key, (result, _shard) in zip(CONFIGS, pool.results)
     }

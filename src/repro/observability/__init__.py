@@ -44,6 +44,7 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshots,
     parse_prometheus_text,
 )
 from repro.observability.monitor import (
@@ -53,6 +54,7 @@ from repro.observability.monitor import (
     StreamSlo,
     slos_from_shares,
     slos_from_streams,
+    violation_from_dict,
 )
 from repro.observability.profiling import PhaseProfiler, PhaseStat
 from repro.observability.rollup import (
@@ -60,6 +62,7 @@ from repro.observability.rollup import (
     RollupObserver,
     StreamWindowStats,
     WindowRollup,
+    rollup_from_dict,
 )
 from repro.observability.server import TelemetryServer
 from repro.observability.tracelog import TraceEvent, TraceLog
@@ -94,11 +97,14 @@ __all__ = [
     "WindowRollup",
     "deserialize_events",
     "events_from_outcome",
+    "merge_snapshots",
     "parse_prometheus_text",
     "resolve_observer",
+    "rollup_from_dict",
     "serialize_events",
     "slos_from_shares",
     "slos_from_streams",
+    "violation_from_dict",
 ]
 
 

@@ -27,6 +27,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_snapshots",
     "parse_prometheus_text",
 ]
 
@@ -313,6 +314,151 @@ class MetricsRegistry:
     def clear(self) -> None:
         """Drop every registered metric."""
         self._metrics.clear()
+
+    # -- mergeable snapshots -------------------------------------------
+
+    def absorb(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot`-shaped dict into this registry.
+
+        The workhorse of multi-process telemetry: worker shards export
+        their registries as snapshots (picklable, JSON-able) and the
+        parent absorbs them *in shard order* — counters and histograms
+        accumulate, gauges keep last-write-wins semantics, so absorbing
+        per-shard snapshots in input order reproduces the registry a
+        single process observing the same stream would have built.
+        Existing metrics keep their help text; new ones are created on
+        demand.  Type conflicts and histogram-bucket mismatches raise
+        ``ValueError``.
+        """
+        for name, data in snapshot.items():
+            kind = data["type"]
+            samples = data["samples"]
+            if kind == "counter":
+                self._absorb_counter(name, samples)
+            elif kind == "gauge":
+                self._absorb_gauge(name, samples)
+            elif kind == "histogram":
+                self._absorb_histogram(name, samples)
+            else:
+                raise ValueError(f"metric {name!r}: unknown type {kind!r}")
+
+    def _absorb_counter(self, name: str, samples: dict[str, float]) -> None:
+        counter = self.counter(name)
+        for sample_key, value in samples.items():
+            _, labels = _split_sample_key(sample_key)
+            counter._values[labels] = counter._values.get(labels, 0.0) + value
+
+    def _absorb_gauge(self, name: str, samples: dict[str, float]) -> None:
+        gauge = self.gauge(name)
+        for sample_key, value in samples.items():
+            _, labels = _split_sample_key(sample_key)
+            gauge._values[labels] = float(value)
+
+    def _absorb_histogram(self, name: str, samples: dict[str, float]) -> None:
+        # Regroup the flat sample rows by label set.
+        buckets: dict[tuple, dict[str, float]] = {}
+        sums: dict[tuple, float] = {}
+        totals: dict[tuple, float] = {}
+        bounds: set[str] = set()
+        for sample_key, value in samples.items():
+            sample_name, labels = _split_sample_key(sample_key)
+            if sample_name == f"{name}_bucket":
+                le = dict(labels)["le"]
+                key = tuple(kv for kv in labels if kv[0] != "le")
+                buckets.setdefault(key, {})[le] = value
+                if le != "+Inf":
+                    bounds.add(le)
+            elif sample_name == f"{name}_sum":
+                sums[labels] = value
+            elif sample_name == f"{name}_count":
+                totals[labels] = value
+            else:
+                raise ValueError(
+                    f"histogram {name!r}: unexpected sample {sample_key!r}"
+                )
+        if name in self:
+            hist = self._metrics[name]
+            if not isinstance(hist, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {hist.kind}"
+                )
+            if bounds and tuple(sorted(float(b) for b in bounds)) != hist.buckets:
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds differ from the "
+                    f"registered metric's"
+                )
+        else:
+            hist = self.histogram(
+                name,
+                buckets=(
+                    sorted(float(b) for b in bounds)
+                    if bounds
+                    else DEFAULT_BUCKETS
+                ),
+            )
+        for key, per_bound in buckets.items():
+            counts = hist._counts.get(key)
+            if counts is None:
+                counts = hist._counts[key] = [0] * len(hist.buckets)
+            for i, bound in enumerate(hist.buckets):
+                counts[i] += int(per_bound.get(_fmt(bound), 0))
+            hist._sums[key] = hist._sums.get(key, 0.0) + sums.get(key, 0.0)
+            hist._totals[key] = hist._totals.get(key, 0) + int(
+                totals.get(key, 0)
+            )
+
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _split_sample_key(
+    sample_key: str,
+) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """Invert ``sample_name + _label_suffix(labels)`` rendering."""
+    brace = sample_key.find("{")
+    if brace < 0:
+        return sample_key, ()
+    name = sample_key[:brace]
+    labels = tuple(_LABEL_RE.findall(sample_key[brace:]))
+    return name, labels
+
+
+def merge_snapshots(
+    snapshots: Iterable[dict[str, dict[str, Any]]],
+) -> dict[str, dict[str, Any]]:
+    """Merge :meth:`MetricsRegistry.snapshot` dicts, in order.
+
+    Pure snapshot-level merge (no registry reconstruction): counter and
+    histogram samples add, gauge samples keep the *last* snapshot's
+    value — so merging per-shard snapshots in input order matches the
+    sequential observation order.  The result is itself snapshot-shaped
+    and compares equal (``==`` / canonical JSON) to the registry a
+    single pass would produce.
+    """
+    out: dict[str, dict[str, Any]] = {}
+    for snap in snapshots:
+        for name, data in snap.items():
+            entry = out.get(name)
+            if entry is None:
+                entry = out[name] = {"type": data["type"], "samples": {}}
+            elif entry["type"] != data["type"]:
+                raise ValueError(
+                    f"metric {name!r}: type conflict "
+                    f"{entry['type']!r} vs {data['type']!r}"
+                )
+            merged = entry["samples"]
+            if data["type"] == "gauge":
+                merged.update(data["samples"])
+            else:
+                for key, value in data["samples"].items():
+                    merged[key] = merged.get(key, 0.0) + value
+    return {
+        name: {
+            "type": out[name]["type"],
+            "samples": dict(sorted(out[name]["samples"].items())),
+        }
+        for name in sorted(out)
+    }
 
 
 _SAMPLE_RE = re.compile(

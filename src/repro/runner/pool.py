@@ -1,0 +1,339 @@
+"""Multi-core sharded execution of seed-indexed workloads.
+
+The simulation harness is full of *embarrassingly parallel* campaigns:
+one independent scenario per seed (differential cross-validation, SLO
+false-positive runs), one independent configuration per sweep point
+(Table 3's three configurations, the Figure 8/9/10 scale sweeps, the
+isolation seeds).  :func:`run_sharded` fans such a workload out across
+worker processes while keeping the merged output *bit-identical to a
+sequential run*:
+
+* items are dealt round-robin onto ``workers`` shards, each shard runs
+  its items in order in one worker process, and the parent reassembles
+  per-item results **by original index** — the merged result stream is
+  a pure function of the inputs, independent of worker count or OS
+  scheduling;
+* every item carries its own seed/configuration (deterministic
+  per-shard seeding falls out of sharding the seed list itself — no
+  shared RNG state crosses a process boundary);
+* a shard that *dies* (non-zero exit, lost result file) is isolated:
+  the parent reports exactly which items were lost in a
+  :class:`ShardFailure` and still merges every surviving shard.  An
+  item that merely *raises* is likewise recorded per item without
+  sinking its shard;
+* an optional :class:`~repro.runner.cache.ResultCache` short-circuits
+  items whose canonical key already has a stored result, so a warm
+  re-run executes nothing.
+
+Degradation is graceful: ``workers=1``, a single pending item, or a
+platform without ``fork``/``spawn`` support all run in-process with
+identical semantics (same ordering, same failure reporting, same cache
+behavior).
+
+Tasks must be module-level callables with picklable arguments and
+results — the same contract ``multiprocessing`` itself imposes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import tempfile
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.runner.cache import ResultCache
+
+__all__ = [
+    "ShardFailure",
+    "PoolResult",
+    "available_parallelism",
+    "resolve_workers",
+    "start_method",
+    "run_sharded",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardFailure:
+    """Items lost to one failure (a dead shard or a raising item)."""
+
+    shard: int
+    items: tuple[Any, ...]
+    error: str
+    exitcode: int | None = None
+
+    def describe(self) -> str:
+        """Human-readable one-liner for campaign reports."""
+        what = (
+            f"exitcode {self.exitcode}" if self.exitcode is not None else "error"
+        )
+        last = self.error.strip().splitlines()[-1] if self.error.strip() else ""
+        return f"shard {self.shard} ({what}): items {list(self.items)} — {last}"
+
+
+@dataclass(slots=True)
+class PoolResult:
+    """Merged output of one sharded run.
+
+    ``results`` is index-aligned with the input items; positions whose
+    item failed (or whose shard died) hold ``None`` and are listed in
+    ``failures``.
+    """
+
+    results: list[Any]
+    failures: list[ShardFailure] = field(default_factory=list)
+    workers: int = 1
+    cached: int = 0
+    executed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every item produced a result."""
+        return not self.failures
+
+    def failed_items(self) -> list[Any]:
+        """Every item lost to a failure, in input order of reporting."""
+        out: list[Any] = []
+        for failure in self.failures:
+            out.extend(failure.items)
+        return out
+
+
+def available_parallelism() -> int:
+    """Usable CPU count (>= 1)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker request: ``None``/``0`` means all cores."""
+    if workers is None or workers <= 0:
+        return available_parallelism()
+    return workers
+
+
+def start_method() -> str | None:
+    """Preferred multiprocessing start method, ``None`` if unsupported.
+
+    ``fork`` is preferred (no re-import, tasks defined anywhere in an
+    importable module work); ``spawn`` / ``forkserver`` are accepted
+    fallbacks.  ``None`` routes execution in-process.
+    """
+    try:
+        methods = multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platform
+        return None
+    for preferred in ("fork", "spawn", "forkserver"):
+        if preferred in methods:
+            return preferred
+    return None
+
+
+def _shard_main(
+    task: Callable[..., Any],
+    task_args: tuple,
+    indexed_items: list[tuple[int, Any]],
+    out_path: str,
+) -> None:
+    """Worker body: run one shard's items in order, write results once.
+
+    Per-item exceptions are captured as ``("err", traceback)`` entries;
+    a hard crash (signal, ``os._exit``) leaves no result file and is
+    detected by the parent via the exit code.
+    """
+    results: list[tuple[int, str, Any]] = []
+    for index, item in indexed_items:
+        try:
+            results.append((index, "ok", task(item, *task_args)))
+        except Exception:
+            results.append((index, "err", traceback.format_exc()))
+    tmp = out_path + ".tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(results, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, out_path)
+
+
+def _run_inprocess(
+    task: Callable[..., Any],
+    task_args: tuple,
+    indexed_items: list[tuple[int, Any]],
+    results: list[Any],
+    failures: list[ShardFailure],
+    completed: set[int],
+) -> None:
+    """Sequential fallback with the exact shard semantics."""
+    for index, item in indexed_items:
+        try:
+            results[index] = task(item, *task_args)
+            completed.add(index)
+        except Exception:
+            failures.append(
+                ShardFailure(shard=0, items=(item,), error=traceback.format_exc())
+            )
+
+
+def _run_processes(
+    task: Callable[..., Any],
+    task_args: tuple,
+    indexed_items: list[tuple[int, Any]],
+    n_shards: int,
+    method: str,
+    results: list[Any],
+    failures: list[ShardFailure],
+    completed: set[int],
+) -> None:
+    """Fan shards out onto worker processes and merge by index."""
+    ctx = multiprocessing.get_context(method)
+    shards = [indexed_items[s::n_shards] for s in range(n_shards)]
+    shards = [shard for shard in shards if shard]
+    with tempfile.TemporaryDirectory(prefix="repro-runner-") as tmpdir:
+        procs: list[tuple[int, Any, str, list[tuple[int, Any]]]] = []
+        for s, shard in enumerate(shards):
+            out_path = str(Path(tmpdir) / f"shard-{s}.pkl")
+            proc = ctx.Process(
+                target=_shard_main,
+                args=(task, task_args, shard, out_path),
+                name=f"repro-shard-{s}",
+            )
+            proc.start()
+            procs.append((s, proc, out_path, shard))
+        for s, proc, out_path, shard in procs:
+            proc.join()
+            shard_items = tuple(item for _i, item in shard)
+            if proc.exitcode != 0:
+                failures.append(
+                    ShardFailure(
+                        shard=s,
+                        items=shard_items,
+                        error=f"shard process died with exitcode {proc.exitcode}",
+                        exitcode=proc.exitcode,
+                    )
+                )
+                continue
+            try:
+                with open(out_path, "rb") as fh:
+                    shard_results = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError) as exc:
+                failures.append(
+                    ShardFailure(
+                        shard=s,
+                        items=shard_items,
+                        error=f"shard result file unreadable: {exc!r}",
+                        exitcode=proc.exitcode,
+                    )
+                )
+                continue
+            by_index = {item_index: item for item_index, item in shard}
+            for item_index, status, payload in shard_results:
+                if status == "ok":
+                    results[item_index] = payload
+                    completed.add(item_index)
+                else:
+                    failures.append(
+                        ShardFailure(
+                            shard=s,
+                            items=(by_index[item_index],),
+                            error=str(payload),
+                        )
+                    )
+    # Deterministic report order regardless of process completion order.
+    failures.sort(key=lambda f: (f.shard, str(f.items)))
+
+
+def run_sharded(
+    task: Callable[..., Any],
+    items: Sequence[Any],
+    *,
+    workers: int | None = 1,
+    task_args: tuple = (),
+    cache: ResultCache | None = None,
+    cache_key: Callable[[Any], Any] | None = None,
+    cache_encode: Callable[[Any], Any] | None = None,
+    cache_decode: Callable[[Any], Any] | None = None,
+    cache_if: Callable[[Any, Any], bool] | None = None,
+) -> PoolResult:
+    """Run ``task(item, *task_args)`` for every item, sharded across cores.
+
+    Parameters
+    ----------
+    task:
+        Module-level callable (picklable); executed once per item.
+    items:
+        The seed-indexed workload.  Order defines merge order.
+    workers:
+        Worker processes; ``1`` (default) runs in-process, ``0`` /
+        ``None`` uses every available core.  Capped at ``len(items)``.
+    cache:
+        Optional :class:`ResultCache`.  Requires ``cache_key`` mapping
+        an item to its canonical JSON key payload.  ``cache_encode`` /
+        ``cache_decode`` convert results to/from the stored JSON value
+        (default: identity); ``cache_if(item, result)`` gates writes
+        (default: cache everything that succeeded).
+
+    Returns
+    -------
+    PoolResult
+        Per-item results in input order, failures, and cache counters.
+        The merged ``results`` list is identical for any ``workers``
+        value — parallelism is an execution detail, not a semantic one.
+    """
+    items = list(items)
+    results: list[Any] = [None] * len(items)
+    failures: list[ShardFailure] = []
+    pending: list[tuple[int, Any]] = []
+    keys: dict[int, str] = {}
+    cached = 0
+    if cache is not None:
+        if cache_key is None:
+            raise ValueError("cache requires cache_key")
+        for index, item in enumerate(items):
+            key = cache.key(cache_key(item))
+            keys[index] = key
+            hit, value = cache.get(key)
+            if hit:
+                results[index] = (
+                    cache_decode(value) if cache_decode is not None else value
+                )
+                cached += 1
+            else:
+                pending.append((index, item))
+    else:
+        pending = list(enumerate(items))
+
+    completed: set[int] = set()
+    n_workers = min(resolve_workers(workers), max(1, len(pending)))
+    method = start_method() if n_workers > 1 and len(pending) > 1 else None
+    if method is None:
+        _run_inprocess(task, task_args, pending, results, failures, completed)
+        n_workers = 1
+    else:
+        _run_processes(
+            task, task_args, pending, n_workers, method, results, failures,
+            completed,
+        )
+
+    if cache is not None:
+        for index, item in pending:
+            if index not in completed:
+                continue
+            result = results[index]
+            if cache_if is not None and not cache_if(item, result):
+                continue
+            value = (
+                cache_encode(result) if cache_encode is not None else result
+            )
+            cache.put(keys[index], value)
+
+    return PoolResult(
+        results=results,
+        failures=failures,
+        workers=n_workers,
+        cached=cached,
+        executed=len(pending),
+    )

@@ -119,15 +119,24 @@ class TestRandomizedAgreement:
     from hypothesis import strategies as st
 
     @given(
+        # Power-of-two weights keep every 1000-byte tag increment an
+        # exact integer, so quantization into the 16-bit code grid is
+        # lossless.  Arbitrary float weights can land two distinct tags
+        # in the same unit code point (e.g. 250.0 and 250.98 with
+        # quantum=1.0), where the hardware legitimately falls back to
+        # the FCFS tie-break while the full-precision software oracle
+        # still orders them — exact agreement only holds on the grid.
         weights=st.lists(
-            st.floats(min_value=0.25, max_value=8.0), min_size=2, max_size=4
+            st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0, 8.0]),
+            min_size=2,
+            max_size=4,
         ),
         pattern=st.lists(st.integers(0, 3), min_size=4, max_size=60),
     )
     @settings(max_examples=40, deadline=None)
     def test_sfq_agreement_random_weights(self, weights, pattern):
-        """Hardware tag mapping == software SFQ for arbitrary weights
-        and arrival interleavings."""
+        """Hardware tag mapping == software SFQ for grid weights and
+        arbitrary arrival interleavings."""
         n = len(weights)
         hw = ServiceTagFrontend(4, flavor="sfq", quantum=1.0, wrap=False)
         sw = SFQ()
