@@ -517,10 +517,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("reference", "batch"),
+        choices=("reference", "batch", "tensor"),
         default="reference",
-        help="scheduler engine: cycle-level object model (oracle) or "
-        "the vectorized batch engine (fast path, cross-validated)",
+        help="scheduler engine: cycle-level object model (oracle), the "
+        "vectorized batch engine, or the scenario-tensorized campaign "
+        "engine (both fast paths cross-validated against the oracle)",
     )
     parser.add_argument(
         "--trace",

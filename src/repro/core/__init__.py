@@ -18,6 +18,7 @@ from repro.core.batch_engine import (
     BatchScheduler,
     BatchSlotView,
     PeriodicRunResult,
+    build_bitonic_passes,
     make_scheduler,
 )
 from repro.core.config import ArchConfig, BlockMode, Routing
@@ -45,6 +46,11 @@ from repro.core.shuffle import (
 )
 from repro.core.hdl import emit_verilog
 from repro.core.tag_mapping import ServiceTagFrontend, TaggedStream
+from repro.core.tensor_engine import (
+    CampaignEngine,
+    TensorScheduler,
+    TensorSlotView,
+)
 
 __all__ = [
     "ATTRIBUTE_WORD_BITS",
@@ -52,6 +58,7 @@ __all__ = [
     "BatchScheduler",
     "BatchSlotView",
     "BlockMode",
+    "CampaignEngine",
     "ControlState",
     "ControlUnit",
     "DecisionBlock",
@@ -73,7 +80,10 @@ __all__ = [
     "SlotCounters",
     "StreamConfig",
     "TaggedStream",
+    "TensorScheduler",
+    "TensorSlotView",
     "TimelineEntry",
+    "build_bitonic_passes",
     "compare",
     "emit_verilog",
     "evaluate",

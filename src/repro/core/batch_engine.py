@@ -41,6 +41,7 @@ order-of-magnitude speedups at large stream counts come from.
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from dataclasses import dataclass
 
@@ -62,6 +63,7 @@ __all__ = [
     "BatchScheduler",
     "BatchSlotView",
     "PeriodicRunResult",
+    "build_bitonic_passes",
     "make_scheduler",
 ]
 
@@ -82,6 +84,52 @@ _ARR_MASK = ARRIVAL_FIELD.mask
 _ARR_MOD = ARRIVAL_FIELD.modulus
 _ARR_HALF = ARRIVAL_FIELD.half
 _Y_MAX = LOSS_DEN_FIELD.mask
+
+
+@functools.lru_cache(maxsize=None)
+def build_bitonic_passes(
+    n: int,
+) -> tuple[tuple[np.ndarray, np.ndarray, np.ndarray], ...]:
+    """Batcher pass geometry as (index, partner, ascending) arrays.
+
+    Pure function of the slot count, memoized so every engine instance
+    at width ``n`` — sequential, batch or tensor — shares one schedule
+    instead of re-deriving the ``O(n log^2 n)`` geometry per
+    construction.  The arrays are treated as read-only by all callers.
+    """
+    passes = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            idx, partner, asc = [], [], []
+            for i in range(n):
+                p = i ^ j
+                if p <= i:
+                    continue
+                idx.append(i)
+                partner.append(p)
+                asc.append((i & k) == 0)
+            passes.append(
+                (
+                    np.asarray(idx, dtype=np.int64),
+                    np.asarray(partner, dtype=np.int64),
+                    np.asarray(asc, dtype=bool),
+                )
+            )
+            j //= 2
+        k *= 2
+    return tuple(passes)
+
+
+@functools.lru_cache(maxsize=None)
+def build_shuffle_permutation(n: int) -> np.ndarray:
+    """Perfect-shuffle index permutation for ``n`` slots (read-only)."""
+    half = n // 2
+    shuffle = np.empty(n, dtype=np.int64)
+    shuffle[0::2] = np.arange(half)
+    shuffle[1::2] = np.arange(half) + half
+    return shuffle
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,10 +158,12 @@ def make_scheduler(
 
     ``engine="reference"`` builds the cycle-level object model (the
     oracle); ``engine="batch"`` builds the vectorized
-    :class:`BatchScheduler`.  Both expose the same ``decision_cycle`` /
-    ``enqueue`` / ``slot`` / ``counters`` surface — including the
-    ``observer`` telemetry hook — and are asserted behaviorally
-    identical by :mod:`repro.core.differential`.
+    :class:`BatchScheduler`; ``engine="tensor"`` builds a
+    single-scenario slice of the scenario-tensorized
+    :class:`~repro.core.tensor_engine.CampaignEngine`.  All expose the
+    same ``decision_cycle`` / ``enqueue`` / ``slot`` / ``counters``
+    surface — including the ``observer`` telemetry hook — and are
+    asserted behaviorally identical by :mod:`repro.core.differential`.
     """
     if engine == "reference":
         from repro.core.scheduler import ShareStreamsScheduler
@@ -133,8 +183,20 @@ def make_scheduler(
             trace=trace,
             observer=observer,
         )
+    if engine == "tensor":
+        # Imported lazily: tensor_engine builds on this module.
+        from repro.core.tensor_engine import TensorScheduler
+
+        return TensorScheduler(
+            config,
+            streams,
+            trace_timeline=trace_timeline,
+            trace=trace,
+            observer=observer,
+        )
     raise ValueError(
-        f"unknown engine {engine!r} (expected 'reference' or 'batch')"
+        f"unknown engine {engine!r} "
+        f"(expected 'reference', 'batch' or 'tensor')"
     )
 
 
@@ -255,18 +317,15 @@ class BatchScheduler:
         self._violations = np.zeros(n, dtype=np.int64)
         self._window_resets = np.zeros(n, dtype=np.int64)
         self._loads = np.zeros(n, dtype=np.int64)
+        self._fast_forwarded = 0  # idle decision cycles skipped in bulk
 
         # -- pending-request queues: (deadline, arrival, length) --
         self._queues: list[deque] = [deque() for _ in range(n)]
 
-        # -- network geometry (precomputed index permutations) --
-        half = n // 2
-        shuffle = np.empty(n, dtype=np.int64)
-        shuffle[0::2] = np.arange(half)
-        shuffle[1::2] = np.arange(half) + half
-        self._shuffle = shuffle
+        # -- network geometry (memoized index permutations, shared) --
+        self._shuffle = build_shuffle_permutation(n)
         self._log2n = n.bit_length() - 1
-        self._bitonic_passes = self._build_bitonic_passes(n)
+        self._bitonic_passes = build_bitonic_passes(n)
 
         if streams:
             for stream in streams:
@@ -487,32 +546,9 @@ class BatchScheduler:
                 state[1::2] = hi
         return state
 
-    @staticmethod
-    def _build_bitonic_passes(n: int):
-        """Batcher pass geometry as (index, partner, ascending) arrays."""
-        passes = []
-        k = 2
-        while k <= n:
-            j = k // 2
-            while j >= 1:
-                idx, partner, asc = [], [], []
-                for i in range(n):
-                    p = i ^ j
-                    if p <= i:
-                        continue
-                    idx.append(i)
-                    partner.append(p)
-                    asc.append((i & k) == 0)
-                passes.append(
-                    (
-                        np.asarray(idx, dtype=np.int64),
-                        np.asarray(partner, dtype=np.int64),
-                        np.asarray(asc, dtype=bool),
-                    )
-                )
-                j //= 2
-            k *= 2
-        return passes
+    #: Kept as a staticmethod alias for back-compat; the memoized
+    #: module-level function is the real implementation.
+    _build_bitonic_passes = staticmethod(build_bitonic_passes)
 
     @property
     def _schedule_passes(self) -> int:
@@ -676,20 +712,35 @@ class BatchScheduler:
         *,
         offsets: np.ndarray | None = None,
         step: np.ndarray | int | None = None,
+        stride: np.ndarray | int | None = None,
         consume: str = "winner",
         count_misses: bool = True,
         collect_winners: bool = False,
+        fast_forward: bool = True,
     ) -> PeriodicRunResult:
         """Run ``n_cycles`` decision cycles of a periodic request feed.
 
-        Each loaded slot ``i`` emits one request per decision cycle
-        (request ``k`` becomes available at cycle ``k``) with deadline
-        ``offsets[i] + k * step[i]`` and arrival-time key ``k`` — the
-        Table 3 workload family, generalized over slot count, offsets,
-        steps, routing, block mode and discipline.  Heads never touch
-        the Python pending queues: availability is ``consumed <= t``
-        and consumption is counter arithmetic, so a whole decision
-        cycle is a handful of array operations.
+        Each loaded slot ``i`` emits one request per release interval
+        (request ``k`` becomes available at cycle ``k * stride[i]``;
+        the default stride of 1 is the dense one-request-per-cycle
+        feed) with deadline ``offsets[i] + k * step[i]`` and
+        arrival-time key ``k`` — the Table 3 workload family,
+        generalized over slot count, offsets, steps, release strides,
+        routing, block mode and discipline.  Heads never touch the
+        Python pending queues: availability is
+        ``consumed * stride <= t`` and consumption is counter
+        arithmetic, so a whole decision cycle is a handful of array
+        operations.
+
+        Decision cycles where *no* slot has a pending head are
+        fast-forwarded: ``now`` jumps straight to the next release
+        boundary and the skipped SCHEDULE/PRIORITY_UPDATE pairs are
+        accounted in bulk
+        (:meth:`~repro.core.control.ControlUnit.advance_decision_cycles`),
+        so sparse feeds (``stride > 1``) never burn Python cycles on
+        empty decisions.  ``fast_forward=False`` keeps the cycle-by-
+        cycle idle path; both produce identical results by construction
+        (asserted by the hypothesis suite).
 
         Produces exactly the counters the equivalent per-cycle
         ``enqueue`` + :meth:`decision_cycle` loop would (the EDF winner
@@ -733,6 +784,14 @@ class BatchScheduler:
             steps = np.broadcast_to(
                 np.asarray(step, dtype=np.int64), (n,)
             ).copy()
+        if stride is None:
+            strides = np.ones(n, dtype=np.int64)
+        else:
+            strides = np.broadcast_to(
+                np.asarray(stride, dtype=np.int64), (n,)
+            ).copy()
+            if (strides < 1).any():
+                raise ValueError("stride must be >= 1")
 
         consumed = np.zeros(n, dtype=np.int64)
         bias = self._edf_bias
@@ -743,8 +802,34 @@ class BatchScheduler:
             np.full(n_cycles, -1, dtype=np.int64) if collect_winners else None
         )
         update_cycles = self.config.update_cycles
-        for t in range(n_cycles):
-            valid = loaded & (consumed <= t)
+        t = 0
+        while t < n_cycles:
+            avail = consumed * strides
+            valid = loaded & (avail <= t)
+            if not valid.any():
+                # Idle decision cycle: no slot has a pending head, so
+                # nothing can be serviced or miss.  Jump to the next
+                # release boundary (bulk control accounting) unless the
+                # caller asked for the cycle-by-cycle path.
+                if fast_forward:
+                    pending = avail[loaded]
+                    nxt = int(pending.min()) if pending.size else n_cycles
+                    nxt = min(max(nxt, t + 1), n_cycles)
+                    self.control.advance_decision_cycles(
+                        nxt - t, self._schedule_passes, update_cycles,
+                        detail="idle fast-forward",
+                    )
+                    self._fast_forwarded += nxt - t
+                    t = nxt
+                else:
+                    self.control.schedule(
+                        self._schedule_passes, detail=f"t={t}"
+                    )
+                    self.control.priority_update(
+                        update_cycles, detail="circulate=None"
+                    )
+                    t += 1
+                continue
             real_dl = offs + consumed * steps
             attr_dl = real_dl + np.where(edf, bias, 0)
             order = self._rank(t, valid, attr_dl, consumed, self._x, self._y)
@@ -753,12 +838,6 @@ class BatchScheduler:
                 self._register_misses(late)
             # Emitted block head / tail selection.
             w = int(order[0])
-            if not valid[w]:
-                self.control.schedule(self._schedule_passes, detail=f"t={t}")
-                self.control.priority_update(
-                    update_cycles, detail="circulate=None"
-                )
-                continue
             if winner_only or max_first:
                 circulated = w
             else:
@@ -797,6 +876,7 @@ class BatchScheduler:
             self.control.priority_update(
                 update_cycles, detail=f"circulate={circulated}"
             )
+            t += 1
         result = PeriodicRunResult(
             n_streams=int(loaded.sum()),
             decision_cycles=n_cycles,
@@ -824,6 +904,11 @@ class BatchScheduler:
     def cycles_per_decision(self) -> int:
         """Hardware cycles one decision cycle consumes."""
         return self.config.sort_passes + self.config.update_cycles
+
+    @property
+    def fast_forwarded(self) -> int:
+        """Idle decision cycles skipped in bulk by ``run_periodic``."""
+        return self._fast_forwarded
 
     def _slot_counters(self, i: int) -> SlotCounters:
         return SlotCounters(

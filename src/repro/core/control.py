@@ -92,6 +92,35 @@ class ControlUnit:
         self._enter(ControlState.PRIORITY_UPDATE, cycles, detail)
         self.decision_cycles += 1
 
+    def advance_decision_cycles(
+        self,
+        count: int,
+        schedule_passes: int,
+        update_cycles: int = 1,
+        detail: str = "",
+    ) -> None:
+        """Account ``count`` idle SCHEDULE + PRIORITY_UPDATE pairs at once.
+
+        The bulk path of the idle-cycle fast-forward: ``hw_cycle`` and
+        ``decision_cycles`` advance exactly as ``count`` individual
+        :meth:`schedule` / :meth:`priority_update` pairs would, in O(1)
+        when the timeline trace is off.  With tracing on, the
+        individual residencies are still recorded so the timeline stays
+        entry-for-entry identical to the unskipped run.
+        """
+        if count < 0:
+            raise ValueError("cycle count must be non-negative")
+        if count == 0:
+            return
+        if self.trace:
+            for _ in range(count):
+                self.schedule(schedule_passes, detail)
+                self.priority_update(update_cycles, detail)
+            return
+        self.hw_cycle += count * (schedule_passes + update_cycles)
+        self.decision_cycles += count
+        self.state = ControlState.PRIORITY_UPDATE
+
     def elapsed_seconds(self, clock_mhz: float) -> float:
         """Wall time the consumed hardware cycles take at ``clock_mhz``."""
         if clock_mhz <= 0:

@@ -1,10 +1,12 @@
-"""Differential cross-validation of the batch engine against the oracle.
+"""Differential cross-validation of the fast engines against the oracle.
 
 The object model (:class:`~repro.core.scheduler.ShareStreamsScheduler`)
 is the trusted, cycle-level reconstruction of the hardware; the batch
-engine (:class:`~repro.core.batch_engine.BatchScheduler`) is the fast
-path.  This module runs *both* engines on the same seeded scenario and
-asserts cycle-by-cycle identical behavior:
+engine (:class:`~repro.core.batch_engine.BatchScheduler`) and the
+scenario-tensorized campaign engine
+(:class:`~repro.core.tensor_engine.CampaignEngine`) are the fast
+paths.  This module runs the oracle and a fast engine on the same
+seeded scenario and asserts cycle-by-cycle identical behavior:
 
 * the emitted block and circulated winner of every decision cycle,
 * the serviced-packet stream (``(sid, deadline, arrival, length)``),
@@ -35,6 +37,14 @@ already-validated scenarios on disk so warm re-runs skip them::
 
     PYTHONPATH=src python -m repro.core.differential \\
         --count 200 --cycles 1000 --workers 4 --cache-dir .diffcache
+
+``--engine tensor`` validates the campaign engine instead: scenarios
+are bucketed by architecture shape (:func:`bucket_key`) and every
+bucket runs as *one* tensorized ``(S, N)`` evaluation
+(:func:`run_bucket`), cross-validated per scenario against the oracle.
+The merged summary stays byte-identical to the sequential batch-engine
+campaign, and per-bucket telemetry is merged via the
+:func:`repro.observability.metrics.merge_snapshots` machinery.
 """
 
 from __future__ import annotations
@@ -55,12 +65,17 @@ __all__ = [
     "EngineTrace",
     "Divergence",
     "SeedOutcome",
+    "BucketOutcome",
     "generate_scenario",
     "build_engine",
     "run_engine",
+    "bucket_key",
+    "run_bucket",
     "cross_validate",
     "cross_validate_traces",
+    "cross_validate_bucket",
     "validate_seed",
+    "validate_bucket",
     "campaign",
 ]
 
@@ -216,9 +231,8 @@ def generate_scenario(
     )
 
 
-def build_engine(scenario: Scenario, engine: str, *, observer=None):
-    """Instantiate one engine for ``scenario`` (``reference``/``batch``)."""
-    config = ArchConfig(
+def _arch_config(scenario: Scenario) -> ArchConfig:
+    return ArchConfig(
         n_slots=scenario.n_slots,
         routing=scenario.routing,
         block_mode=scenario.block_mode,
@@ -226,12 +240,23 @@ def build_engine(scenario: Scenario, engine: str, *, observer=None):
         wrap=scenario.wrap,
         extended=scenario.extended,
     )
+
+
+def build_engine(scenario: Scenario, engine: str, *, observer=None):
+    """Instantiate one engine (``reference``/``batch``/``tensor``)."""
+    config = _arch_config(scenario)
     if engine == "reference":
         return ShareStreamsScheduler(
             config, list(scenario.streams), observer=observer
         )
     if engine == "batch":
         return BatchScheduler(config, list(scenario.streams), observer=observer)
+    if engine == "tensor":
+        from repro.core.tensor_engine import TensorScheduler
+
+        return TensorScheduler(
+            config, list(scenario.streams), observer=observer
+        )
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -254,6 +279,24 @@ def _arrival_schedule(scenario: Scenario):
     return schedule
 
 
+def _cycle_record(outcome) -> CycleRecord:
+    """Flatten a :class:`DecisionOutcome` into an engine-agnostic record."""
+    return CycleRecord(
+        now=outcome.now,
+        block=outcome.block,
+        circulated=outcome.circulated_sid,
+        serviced=tuple(
+            (sid, p.deadline, p.arrival, p.length)
+            for sid, p in outcome.serviced
+        ),
+        misses=outcome.misses,
+        hw_cycles=outcome.hw_cycles,
+        dropped=tuple(
+            (sid, p.deadline, p.arrival) for sid, p in outcome.dropped
+        ),
+    )
+
+
 def run_engine(scenario: Scenario, engine: str, *, observer=None) -> EngineTrace:
     """Execute ``scenario`` on one engine, recording every observable."""
     sched = build_engine(scenario, engine, observer=observer)
@@ -267,22 +310,7 @@ def run_engine(scenario: Scenario, engine: str, *, observer=None) -> EngineTrace
             count_misses=scenario.count_misses,
             drop_late=drop,
         )
-        records.append(
-            CycleRecord(
-                now=t,
-                block=outcome.block,
-                circulated=outcome.circulated_sid,
-                serviced=tuple(
-                    (sid, p.deadline, p.arrival, p.length)
-                    for sid, p in outcome.serviced
-                ),
-                misses=outcome.misses,
-                hw_cycles=outcome.hw_cycles,
-                dropped=tuple(
-                    (sid, p.deadline, p.arrival) for sid, p in outcome.dropped
-                ),
-            )
-        )
+        records.append(_cycle_record(outcome))
     counters = {
         sid: (
             c.wins,
@@ -307,27 +335,62 @@ _CYCLE_FIELDS = (
 )
 
 
-def cross_validate(scenario: Scenario) -> Divergence | None:
-    """Run both engines on ``scenario``; return the first divergence.
-
-    ``None`` means the engines agreed on every decision cycle and on
-    the final performance counters.
-    """
-    ref = run_engine(scenario, "reference")
-    bat = run_engine(scenario, "batch")
-    for t, (r, b) in enumerate(zip(ref.records, bat.records)):
+def _compare_traces(
+    scenario: Scenario, ref: EngineTrace, fast: EngineTrace
+) -> Divergence | None:
+    """First record/counter disagreement between two engine traces."""
+    for t, (r, b) in enumerate(zip(ref.records, fast.records)):
         if r != b:
             for name in _CYCLE_FIELDS:
                 if getattr(r, name) != getattr(b, name):
                     return Divergence(
                         scenario, t, name, getattr(r, name), getattr(b, name)
                     )
-    if ref.counters != bat.counters:
-        return Divergence(scenario, None, "counters", ref.counters, bat.counters)
+    if ref.counters != fast.counters:
+        return Divergence(
+            scenario, None, "counters", ref.counters, fast.counters
+        )
     return None
 
 
-def cross_validate_traces(scenario: Scenario) -> Divergence | None:
+def _compare_event_streams(
+    scenario: Scenario, ref_rec: TraceRecorder, fast_rec: TraceRecorder
+) -> Divergence | None:
+    """First telemetry-event disagreement between two recorders."""
+    ref_events = ref_rec.events()
+    fast_events = fast_rec.events()
+    for i, (r, b) in enumerate(zip(ref_events, fast_events)):
+        if r != b:
+            return Divergence(scenario, i, "trace_event", r, b)
+    if len(ref_events) != len(fast_events):
+        return Divergence(
+            scenario, None, "trace_length", len(ref_events), len(fast_events)
+        )
+    # Event equality implies serialization equality; assert it anyway so
+    # the canonical byte format itself stays deterministic.
+    if ref_rec.serialize() != fast_rec.serialize():
+        return Divergence(
+            scenario, None, "trace_serialization", "<bytes>", "<bytes>"
+        )
+    return None
+
+
+def cross_validate(
+    scenario: Scenario, engine: str = "batch"
+) -> Divergence | None:
+    """Run the oracle and one fast engine; return the first divergence.
+
+    ``None`` means the engines agreed on every decision cycle and on
+    the final performance counters.
+    """
+    ref = run_engine(scenario, "reference")
+    fast = run_engine(scenario, engine)
+    return _compare_traces(scenario, ref, fast)
+
+
+def cross_validate_traces(
+    scenario: Scenario, engine: str = "batch"
+) -> Divergence | None:
     """Run both engines under telemetry; compare the trace streams.
 
     Attaches a fresh :class:`~repro.observability.TraceRecorder` to
@@ -337,25 +400,163 @@ def cross_validate_traces(scenario: Scenario) -> Divergence | None:
     means no divergence.
     """
     ref_rec = TraceRecorder()
-    bat_rec = TraceRecorder()
+    fast_rec = TraceRecorder()
     run_engine(scenario, "reference", observer=ref_rec)
-    run_engine(scenario, "batch", observer=bat_rec)
-    ref_events = ref_rec.events()
-    bat_events = bat_rec.events()
-    for i, (r, b) in enumerate(zip(ref_events, bat_events)):
-        if r != b:
-            return Divergence(scenario, i, "trace_event", r, b)
-    if len(ref_events) != len(bat_events):
-        return Divergence(
-            scenario, None, "trace_length", len(ref_events), len(bat_events)
+    run_engine(scenario, engine, observer=fast_rec)
+    return _compare_event_streams(scenario, ref_rec, fast_rec)
+
+
+# ---------------------------------------------------------------------------
+# same-shape bucketing: whole-bucket tensorized execution
+# ---------------------------------------------------------------------------
+
+
+def bucket_key(scenario: Scenario) -> tuple:
+    """The same-shape bucketing key for the campaign engine.
+
+    Scenarios sharing this key run the same architecture — slot count,
+    routing, block mode, sorting schedule, wrap/extended arithmetic —
+    and the same cycle count, so they can ride one
+    :class:`~repro.core.tensor_engine.CampaignEngine` as rows of its
+    ``(S, N)`` state (the bucketing contract in ``docs/ENGINES.md``).
+    Per-stream constraints, disciplines, consume policies and workloads
+    vary freely within a bucket.
+    """
+    return (
+        scenario.n_slots,
+        scenario.routing.value,
+        scenario.block_mode.value,
+        scenario.schedule,
+        scenario.wrap,
+        scenario.extended,
+        scenario.n_cycles,
+    )
+
+
+def run_bucket(
+    scenarios, *, observers=None, stats: dict | None = None
+) -> list[EngineTrace]:
+    """Execute a same-shape bucket as one tensorized campaign.
+
+    All scenarios advance in lockstep through one
+    :class:`~repro.core.tensor_engine.CampaignEngine`; each returned
+    :class:`EngineTrace` is cycle-for-cycle what the scenario would
+    produce on its own engine.  Cycles where *no* scenario has a
+    pending head and none receives an arrival are fast-forwarded: the
+    control accounting advances in bulk and the per-cycle idle records
+    (identical by construction) are synthesized without touching the
+    array pipeline.  ``stats`` (optional dict) receives
+    ``fast_forwarded`` and ``cycles`` totals for telemetry.
+    """
+    from repro.core.tensor_engine import CampaignEngine
+
+    scenarios = list(scenarios)
+    if not scenarios:
+        return []
+    first = scenarios[0]
+    key = bucket_key(first)
+    for scenario in scenarios[1:]:
+        if bucket_key(scenario) != key:
+            raise ValueError(
+                "bucket mixes scenario shapes: "
+                f"{bucket_key(scenario)} != {key}"
+            )
+    n_scenarios = len(scenarios)
+    n_cycles = first.n_cycles
+    engine = CampaignEngine(
+        _arch_config(first),
+        [list(scenario.streams) for scenario in scenarios],
+        observers=list(observers) if observers is not None else None,
+    )
+    schedules = [_arrival_schedule(scenario) for scenario in scenarios]
+    consume = [scenario.consume for scenario in scenarios]
+    count_misses = [scenario.count_misses for scenario in scenarios]
+    # next_arrival[t]: first cycle >= t where any scenario enqueues.
+    next_arrival = [n_cycles] * (n_cycles + 1)
+    for t in range(n_cycles - 1, -1, -1):
+        has_arrival = any(schedules[s][t][0] for s in range(n_scenarios))
+        next_arrival[t] = t if has_arrival else next_arrival[t + 1]
+    records: list[list[CycleRecord]] = [[] for _ in range(n_scenarios)]
+    t = 0
+    while t < n_cycles:
+        if not engine.has_pending and next_arrival[t] > t:
+            # Campaign-wide idle gap: bulk-account the skipped decision
+            # cycles and synthesize the records the oracle would emit.
+            nxt = min(next_arrival[t], n_cycles)
+            engine.advance_idle(nxt - t)
+            for tt in range(t, nxt):
+                idle = engine.idle_outcome(tt)
+                record = _cycle_record(idle)
+                for s in range(n_scenarios):
+                    records[s].append(record)
+                    if observers is not None and observers[s] is not None:
+                        observers[s].on_decision(idle)
+            t = nxt
+            continue
+        for s, schedule in enumerate(schedules):
+            for sid, deadline, arrival in schedule[t][0]:
+                engine.enqueue(s, sid, deadline, arrival)
+        outcomes = engine.decision_cycle_all(
+            t,
+            consume=consume,
+            count_misses=count_misses,
+            drop_late=[schedules[s][t][1] for s in range(n_scenarios)],
         )
-    # Event equality implies serialization equality; assert it anyway so
-    # the canonical byte format itself stays deterministic.
-    if ref_rec.serialize() != bat_rec.serialize():
-        return Divergence(
-            scenario, None, "trace_serialization", "<bytes>", "<bytes>"
+        for s, outcome in enumerate(outcomes):
+            records[s].append(_cycle_record(outcome))
+        t += 1
+    if stats is not None:
+        stats["fast_forwarded"] = (
+            stats.get("fast_forwarded", 0) + engine.fast_forwarded
         )
-    return None
+        stats["cycles"] = stats.get("cycles", 0) + n_cycles * n_scenarios
+    return [
+        EngineTrace(
+            engine="tensor",
+            records=tuple(records[s]),
+            counters={
+                sid: (
+                    c.wins,
+                    c.serviced,
+                    c.missed_deadlines,
+                    c.violations,
+                    c.window_resets,
+                    c.loads,
+                )
+                for sid, c in engine.counters(s).items()
+            },
+        )
+        for s in range(n_scenarios)
+    ]
+
+
+def cross_validate_bucket(
+    scenarios, mode: str = "outcome", *, stats: dict | None = None
+) -> list[Divergence | None]:
+    """Cross-validate a same-shape bucket: oracle vs campaign engine.
+
+    The bucket runs *once* through the tensorized engine; every
+    scenario is then compared against its own reference run
+    (``mode="outcome"``: cycle records + counters; ``mode="trace"``:
+    structured telemetry event streams).
+    """
+    scenarios = list(scenarios)
+    if mode == "trace":
+        recorders = [TraceRecorder() for _ in scenarios]
+        run_bucket(scenarios, observers=recorders, stats=stats)
+        results: list[Divergence | None] = []
+        for scenario, recorder in zip(scenarios, recorders):
+            ref_rec = TraceRecorder()
+            run_engine(scenario, "reference", observer=ref_rec)
+            results.append(
+                _compare_event_streams(scenario, ref_rec, recorder)
+            )
+        return results
+    tensor_traces = run_bucket(scenarios, stats=stats)
+    return [
+        _compare_traces(scenario, run_engine(scenario, "reference"), trace)
+        for scenario, trace in zip(scenarios, tensor_traces)
+    ]
 
 
 @dataclass(frozen=True, slots=True)
@@ -375,38 +576,102 @@ class SeedOutcome:
     divergence: Divergence | None = None
 
 
+def _seed_outcome(scenario: Scenario, divergence: Divergence | None) -> SeedOutcome:
+    return SeedOutcome(
+        seed=scenario.seed,
+        routing=scenario.routing.value,
+        block_mode=scenario.block_mode.value,
+        modes=tuple(sorted({s.mode.value for s in scenario.streams})),
+        divergence=divergence,
+    )
+
+
 def validate_seed(
-    seed: int, n_cycles: int = 1000, mode: str = "outcome"
+    seed: int, n_cycles: int = 1000, mode: str = "outcome",
+    engine: str = "batch",
 ) -> SeedOutcome:
     """Cross-validate one seed; the sharded campaign's unit of work.
 
     Module-level and fully determined by its arguments, so it can run
     in any worker process (:func:`repro.runner.run_sharded`) and its
     result can be merged or cached independently of every other seed.
+    ``engine="tensor"`` validates the single-scenario adapter; the
+    bucketed tensor campaign uses :func:`validate_bucket` instead.
     """
     validate = cross_validate if mode == "outcome" else cross_validate_traces
     scenario = generate_scenario(seed, n_cycles=n_cycles)
-    return SeedOutcome(
-        seed=seed,
-        routing=scenario.routing.value,
-        block_mode=scenario.block_mode.value,
-        modes=tuple(sorted({s.mode.value for s in scenario.streams})),
-        divergence=validate(scenario),
+    return _seed_outcome(scenario, validate(scenario, engine))
+
+
+@dataclass(frozen=True, slots=True)
+class BucketOutcome:
+    """One same-shape bucket's contribution to a tensor campaign.
+
+    Picklable unit of work for the sharded bucketed path: the per-seed
+    outcomes (in bucket order) plus the bucket's telemetry snapshot,
+    merged into the campaign result via
+    :func:`repro.observability.metrics.merge_snapshots`.
+    """
+
+    outcomes: tuple[SeedOutcome, ...]
+    telemetry: dict
+
+
+def validate_bucket(
+    seeds, n_cycles: int = 1000, mode: str = "outcome"
+) -> BucketOutcome:
+    """Cross-validate one same-shape bucket of seeds tensorized.
+
+    The sharded tensor campaign's unit of work: regenerates the bucket's
+    scenarios from the seeds, runs them as one
+    :class:`~repro.core.tensor_engine.CampaignEngine` evaluation and
+    compares each row against its reference run.  Also labels the
+    bucket's execution telemetry (scenario/cycle/fast-forward counts)
+    so shards can be merged with the PR 4 ``absorb`` machinery.
+    """
+    from repro.observability import MetricsRegistry
+
+    scenarios = [generate_scenario(seed, n_cycles=n_cycles) for seed in seeds]
+    stats: dict = {}
+    divergences = cross_validate_bucket(scenarios, mode, stats=stats)
+    registry = MetricsRegistry()
+    registry.counter(
+        "differential_bucket_scenarios_total",
+        "scenarios validated through the tensorized bucket path",
+    ).inc(len(scenarios))
+    registry.counter(
+        "differential_bucket_cycles_total",
+        "scenario-cycles advanced by bucketed campaign evaluations",
+    ).inc(stats.get("cycles", 0))
+    registry.counter(
+        "differential_fast_forwarded_cycles_total",
+        "idle decision cycles skipped in bulk by the campaign engine",
+    ).inc(stats.get("fast_forwarded", 0))
+    return BucketOutcome(
+        outcomes=tuple(
+            _seed_outcome(scenario, divergence)
+            for scenario, divergence in zip(scenarios, divergences)
+        ),
+        telemetry=registry.snapshot(),
     )
 
 
-def _scenario_cache_payload(seed: int, n_cycles: int, mode: str) -> dict:
+def _scenario_cache_payload(
+    seed: int, n_cycles: int, mode: str, engine: str = "batch"
+) -> dict:
     """Canonical cache-key payload: the *resolved* scenario config.
 
     Keyed on the full derived scenario (not just the seed) plus the
     engine pair and comparison mode, so a generator change that alters
-    what a seed means invalidates its cache entry.  The package-version
-    token is folded in by :class:`~repro.runner.cache.ResultCache`.
+    what a seed means invalidates its cache entry — and tensor-path
+    results never collide with cached sequential-path entries.  The
+    package-version/schema token is folded in by
+    :class:`~repro.runner.cache.ResultCache`.
     """
     scenario = generate_scenario(seed, n_cycles=n_cycles)
     return {
         "mode": mode,
-        "engines": ["reference", "batch"],
+        "engines": ["reference", engine],
         "scenario": {
             "seed": scenario.seed,
             "n_slots": scenario.n_slots,
@@ -474,6 +739,13 @@ class CampaignResult:
     cached: int = 0
     executed: int = 0
     workers: int = 1
+    #: Fast engine the campaign validated ("batch" or "tensor").
+    engine: str = "batch"
+    #: Merged per-bucket telemetry (tensor path only).  Execution
+    #: detail — like ``workers``/``cached`` it never enters
+    #: :meth:`summary`, keeping summaries byte-identical across
+    #: engines and worker counts.
+    telemetry: dict | None = None
 
     @property
     def passed(self) -> bool:
@@ -534,12 +806,99 @@ def _fold_outcome(result: CampaignResult, outcome: SeedOutcome) -> None:
         result.divergences.append(outcome.divergence)
 
 
+def _tensor_campaign(
+    seeds,
+    result: CampaignResult,
+    n_cycles: int,
+    mode: str,
+    workers,
+    cache_dir,
+    use_cache: bool,
+) -> CampaignResult:
+    """Bucketed tensor-engine campaign body (see :func:`campaign`).
+
+    Seeds are first resolved against the per-seed scenario cache (the
+    tensor path has its own namespace so entries never collide with the
+    sequential path), the misses are bucketed by
+    :func:`bucket_key` in first-seen order, and the buckets shard
+    across workers as whole units.  Outcomes fold back in original seed
+    order, so the merged summary stays byte-identical to the
+    sequential batch-engine campaign; per-bucket telemetry merges into
+    ``result.telemetry``.
+    """
+    from dataclasses import replace
+
+    from repro.observability.metrics import merge_snapshots
+    from repro.runner import ResultCache, run_sharded
+
+    cache = None
+    if cache_dir is not None and use_cache:
+        cache = ResultCache(cache_dir, namespace=f"differential-{mode}-tensor")
+
+    def payload_key(seed: int) -> str:
+        return cache.key(
+            _scenario_cache_payload(seed, n_cycles, mode, engine="tensor")
+        )
+
+    outcomes: dict[int, SeedOutcome] = {}
+    pending: list[int] = []
+    for seed in seeds:
+        if cache is not None:
+            hit, value = cache.get(payload_key(seed))
+            if hit:
+                outcomes[seed] = _decode_outcome(value)
+                result.cached += 1
+                continue
+        pending.append(seed)
+
+    buckets: dict[tuple, list[int]] = {}
+    for seed in pending:
+        key = bucket_key(generate_scenario(seed, n_cycles=n_cycles))
+        buckets.setdefault(key, []).append(seed)
+    items = [tuple(bucket) for bucket in buckets.values()]
+
+    pool = run_sharded(
+        validate_bucket,
+        items,
+        workers=workers,
+        task_args=(n_cycles, mode),
+    )
+    snapshots = []
+    for bucket_outcome in pool.results:
+        if bucket_outcome is None:
+            continue
+        snapshots.append(bucket_outcome.telemetry)
+        for outcome in bucket_outcome.outcomes:
+            outcomes[outcome.seed] = outcome
+            result.executed += 1
+            if cache is not None and outcome.divergence is None:
+                cache.put(payload_key(outcome.seed), _encode_outcome(outcome))
+    # A dead shard loses whole buckets; report the seeds, not the
+    # bucket tuples, so summaries match the per-seed path's shape.
+    result.failures = [
+        replace(
+            failure,
+            items=tuple(
+                seed for bucket in failure.items for seed in bucket
+            ),
+        )
+        for failure in pool.failures
+    ]
+    for seed in seeds:
+        if seed in outcomes:
+            _fold_outcome(result, outcomes[seed])
+    result.workers = pool.workers
+    result.telemetry = merge_snapshots(snapshots) if snapshots else None
+    return result
+
+
 def campaign(
     seeds,
     *,
     n_cycles: int = 1000,
     stop_on_divergence: bool = False,
     mode: str = "outcome",
+    engine: str = "batch",
     workers: int | None = 1,
     cache_dir=None,
     use_cache: bool = True,
@@ -552,12 +911,20 @@ def campaign(
     ``mode="trace"`` compares the engines' structured telemetry event
     streams (:func:`cross_validate_traces`).
 
-    ``workers`` shards the seed list across processes
+    ``engine`` selects the fast path under test: ``"batch"`` (default)
+    validates seeds one at a time; ``"tensor"`` buckets the campaign by
+    architecture shape and runs each bucket as one tensorized
+    ``(S, N)`` evaluation (:func:`validate_bucket`), sharding whole
+    buckets across workers.  Both produce byte-identical merged
+    summaries when every seed passes.
+
+    ``workers`` shards the workload across processes
     (:func:`repro.runner.run_sharded`; ``0``/``None`` = all cores) —
-    seeds fold into the result in input order regardless of worker
+    outcomes fold into the result in input order regardless of worker
     count, so the merged summary is byte-identical to a sequential
     run.  ``cache_dir`` enables the on-disk scenario cache (divergent
-    seeds are never cached and always revalidate); ``use_cache=False``
+    seeds are never cached and always revalidate; the tensor path uses
+    its own namespace so entries never collide); ``use_cache=False``
     keeps the directory untouched.  ``stop_on_divergence`` forces the
     sequential path (early exit is inherently order-dependent).
 
@@ -567,16 +934,22 @@ def campaign(
     """
     if mode not in ("outcome", "trace"):
         raise ValueError(f"unknown campaign mode {mode!r}")
+    if engine not in ("batch", "tensor"):
+        raise ValueError(f"unknown campaign engine {engine!r}")
     seeds = list(seeds)
-    result = CampaignResult(mode=mode, n_cycles=n_cycles)
+    result = CampaignResult(mode=mode, n_cycles=n_cycles, engine=engine)
     if stop_on_divergence:
         for seed in seeds:
-            outcome = validate_seed(seed, n_cycles, mode)
+            outcome = validate_seed(seed, n_cycles, mode, engine)
             _fold_outcome(result, outcome)
             result.executed += 1
             if outcome.divergence is not None:
                 break
         return result
+    if engine == "tensor" and _task is None:
+        return _tensor_campaign(
+            seeds, result, n_cycles, mode, workers, cache_dir, use_cache
+        )
 
     from repro.runner import ResultCache, run_sharded
 
@@ -623,6 +996,14 @@ def main(argv=None) -> int:  # pragma: no cover - CLI convenience
         "cycle outcomes (observability as a correctness oracle)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("batch", "tensor"),
+        default="batch",
+        help="fast engine under test: per-seed batch validation or the "
+        "bucketed scenario-tensorized campaign engine (identical "
+        "merged summaries when every seed passes)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -656,13 +1037,14 @@ def main(argv=None) -> int:  # pragma: no cover - CLI convenience
         range(args.base_seed, args.base_seed + args.count),
         n_cycles=args.cycles,
         mode=mode,
+        engine=args.engine,
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
     )
     elapsed = time.perf_counter() - start
     print(
-        f"{mode} mode: "
+        f"{mode} mode ({args.engine} engine): "
         f"{result.scenarios} scenarios, "
         f"{len(result.divergences)} divergences, "
         f"routings={sorted(r.value for r in result.routings)}, "

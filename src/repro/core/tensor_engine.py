@@ -1,0 +1,1000 @@
+"""Scenario-tensorized campaign engine (the NumPy fastest path).
+
+:class:`CampaignEngine` generalizes the slot-vectorized
+:class:`~repro.core.batch_engine.BatchScheduler` by one axis: given S
+*same-shape* scenarios — identical architecture configuration (slot
+count, routing, block mode, sorting schedule, wrap/extended arithmetic)
+but independent stream constraint sets and workloads — it holds every
+per-slot attribute as an ``(S, N)`` array and executes rank
+computation, the compare-exchange network replay, miss registration and
+the DWCS window updates as batched array ops across the *whole
+campaign* at once.  Per-cycle Python overhead is amortized over S
+scenarios instead of paid S times, which composes multiplicatively with
+the process-level sharding in :mod:`repro.runner`.
+
+The same-shape bucketing contract (see ``docs/ENGINES.md``) is what
+makes the leading axis sound: every scenario in a bucket shares one
+``ArchConfig``, so the sort-key cascade, the network pass geometry and
+the wrap rebasing are common subexpressions; per-stream attributes
+(periods, window constraints, disciplines, deadlines) vary freely along
+``(S, N)``.  Mixed campaigns are bucketed by
+:func:`repro.core.differential.bucket_key` before they reach this
+module.
+
+Idle-cycle fast-forward: when *no* scenario in the campaign has a
+pending head, :meth:`CampaignEngine.run_periodic` jumps ``now``
+directly to the next release boundary and accounts the skipped
+SCHEDULE/PRIORITY_UPDATE pairs in bulk, so sparse workloads (the
+isolation experiments are mostly idle) cost array ops only on the
+cycles where a decision can actually differ from "nothing happened".
+
+:class:`TensorScheduler` is the S=1 adapter: a drop-in for
+:class:`~repro.core.scheduler.ShareStreamsScheduler` /
+:class:`BatchScheduler` (``make_scheduler(..., engine="tensor")``)
+backed by a one-row campaign, cross-validated cycle-by-cycle by
+:mod:`repro.core.differential` like every other engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.batch_engine import (
+    _ARR_HALF,
+    _ARR_MASK,
+    _ARR_MOD,
+    _DL_HALF,
+    _DL_MASK,
+    _DL_MOD,
+    _DWCS_LIKE,
+    _MODE_CODE,
+    _Y_MAX,
+    PeriodicRunResult,
+    build_bitonic_passes,
+    build_shuffle_permutation,
+)
+from repro.core.config import ArchConfig, BlockMode, Routing
+from repro.core.control import ControlUnit
+from repro.core.register_block import PendingPacket, SlotCounters
+from repro.core.scheduler import DecisionOutcome
+from repro.observability.hooks import resolve_observer
+
+__all__ = ["CampaignEngine", "TensorScheduler", "TensorSlotView"]
+
+_EDF = _MODE_CODE[SchedulingMode.EDF]
+
+
+def _per_scenario(value, n_scenarios: int, name: str) -> list:
+    """Broadcast a scalar or validate a per-scenario sequence."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != n_scenarios:
+            raise ValueError(
+                f"{name} must have one entry per scenario "
+                f"({len(value)} != {n_scenarios})"
+            )
+        return list(value)
+    return [value] * n_scenarios
+
+
+class TensorSlotView:
+    """Read/inspect adapter for one (scenario, slot) register block."""
+
+    __slots__ = ("_engine", "_scenario", "_sid")
+
+    def __init__(self, engine: "CampaignEngine", scenario: int, sid: int):
+        self._engine = engine
+        self._scenario = scenario
+        self._sid = sid
+
+    @property
+    def config(self) -> StreamConfig:
+        return self._engine._configs[self._scenario][self._sid]
+
+    @property
+    def head(self) -> PendingPacket | None:
+        """The request currently latched in the registers, if any."""
+        e, s, i = self._engine, self._scenario, self._sid
+        if not e._has_head[s, i]:
+            return None
+        return PendingPacket(
+            deadline=int(e._head_deadline[s, i]),
+            arrival=int(e._head_arrival[s, i]),
+            length=int(e._head_length[s, i]),
+        )
+
+    @property
+    def backlog(self) -> int:
+        """Requests waiting behind the latched head."""
+        return len(self._engine._queues[self._scenario][self._sid])
+
+    @property
+    def pending(self) -> list[PendingPacket]:
+        """Waiting requests as packets (inspection only)."""
+        return [
+            PendingPacket(deadline=d, arrival=a, length=ln)
+            for d, a, ln in self._engine._queues[self._scenario][self._sid]
+        ]
+
+    @property
+    def counters(self) -> SlotCounters:
+        return self._engine._slot_counters(self._scenario, self._sid)
+
+
+class CampaignEngine:
+    """S-scenario tensorized scheduler: ``(S, N)`` state, lockstep cycles.
+
+    Parameters
+    ----------
+    config:
+        The *shared* architecture configuration — every scenario in the
+        campaign runs the same slot count, routing, block mode, sorting
+        schedule and arithmetic (the same-shape bucketing contract).
+    stream_lists:
+        One stream-constraint list per scenario (entries may be empty).
+        Alternatively pass ``n_scenarios`` and load streams later with
+        :meth:`load_stream`.
+    observers:
+        Optional per-scenario telemetry hooks (same ``on_decision``
+        protocol as the other engines); ``None`` entries are skipped.
+    trace_timeline:
+        Record the (shared, lockstep) control FSM timeline.
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        stream_lists=None,
+        *,
+        n_scenarios: int | None = None,
+        observers=None,
+        trace_timeline: bool = False,
+    ) -> None:
+        if stream_lists is None:
+            if n_scenarios is None:
+                raise ValueError(
+                    "pass stream_lists or an explicit n_scenarios"
+                )
+            stream_lists = [None] * n_scenarios
+        s_count = len(stream_lists)
+        if n_scenarios is not None and n_scenarios != s_count:
+            raise ValueError("n_scenarios disagrees with stream_lists")
+        if s_count < 1:
+            raise ValueError("campaign needs at least one scenario")
+        self.config = config
+        self.n_scenarios = s_count
+        self.observers = list(observers) if observers is not None else None
+        if self.observers is not None and len(self.observers) != s_count:
+            raise ValueError("observers must have one entry per scenario")
+        self.trace_timeline = trace_timeline
+        #: Lockstep cycle accountant: every scenario consumes the same
+        #: SCHEDULE/PRIORITY_UPDATE sequence, so one ControlUnit holds
+        #: the per-scenario hardware-cycle tally for the whole campaign.
+        self.control = ControlUnit(trace=trace_timeline)
+        n = config.n_slots
+        self._n = n
+        self._wrap = config.wrap
+        self._deadline_only = config.deadline_only
+
+        shape = (s_count, n)
+        # -- per-(scenario, slot) state, mirroring BatchScheduler --
+        self._configs: list[list[StreamConfig | None]] = [
+            [None] * n for _ in range(s_count)
+        ]
+        self._loaded = np.zeros(shape, dtype=bool)
+        self._has_head = np.zeros(shape, dtype=bool)
+        self._attr_deadline = np.zeros(shape, dtype=np.int64)
+        self._attr_arrival = np.zeros(shape, dtype=np.int64)
+        self._x = np.zeros(shape, dtype=np.int64)
+        self._y = np.zeros(shape, dtype=np.int64)
+        self._cfg_x = np.zeros(shape, dtype=np.int64)
+        self._cfg_y = np.zeros(shape, dtype=np.int64)
+        self._head_deadline = np.zeros(shape, dtype=np.int64)
+        self._head_arrival = np.zeros(shape, dtype=np.int64)
+        self._head_length = np.zeros(shape, dtype=np.int64)
+        self._edf_bias = np.zeros(shape, dtype=np.int64)
+        self._period = np.ones(shape, dtype=np.int64)
+        self._init_deadline = np.zeros(shape, dtype=np.int64)
+        self._mode = np.full(shape, _MODE_CODE[SchedulingMode.DWCS], np.int64)
+        self._dwcs_like = np.zeros(shape, dtype=bool)
+        self._sid2d = np.broadcast_to(np.arange(n, dtype=np.int64), shape)
+
+        # -- performance counters --
+        self._wins = np.zeros(shape, dtype=np.int64)
+        self._serviced = np.zeros(shape, dtype=np.int64)
+        self._missed = np.zeros(shape, dtype=np.int64)
+        self._violations = np.zeros(shape, dtype=np.int64)
+        self._window_resets = np.zeros(shape, dtype=np.int64)
+        self._loads = np.zeros(shape, dtype=np.int64)
+        self._fast_forwarded = 0  # idle decision cycles skipped in bulk
+
+        # -- pending-request queues: (deadline, arrival, length) --
+        self._queues: list[list[deque]] = [
+            [deque() for _ in range(n)] for _ in range(s_count)
+        ]
+
+        # -- network geometry (memoized, shared across engines) --
+        self._shuffle = build_shuffle_permutation(n)
+        self._log2n = n.bit_length() - 1
+        self._bitonic_passes = build_bitonic_passes(n)
+
+        for s, streams in enumerate(stream_lists):
+            if streams:
+                for stream in streams:
+                    self.load_stream(s, stream)
+        self.control.load(1, detail="power-on constraint load")
+
+    # ------------------------------------------------------------------
+    # slot management (LOAD path)
+    # ------------------------------------------------------------------
+
+    def load_stream(self, scenario: int, stream: StreamConfig) -> TensorSlotView:
+        """Bind a stream's constraints to its slot in one scenario."""
+        if not 0 <= scenario < self.n_scenarios:
+            raise ValueError(f"scenario {scenario} out of range")
+        if not 0 <= stream.sid < self._n:
+            raise ValueError(
+                f"sid {stream.sid} out of range for "
+                f"{self._n}-slot scheduler"
+            )
+        if self._configs[scenario][stream.sid] is not None:
+            raise ValueError(
+                f"slot {stream.sid} already loaded in scenario {scenario}"
+            )
+        s, i = scenario, stream.sid
+        self._configs[s][i] = stream
+        self._loaded[s, i] = True
+        self._attr_deadline[s, i] = stream.initial_deadline
+        self._attr_arrival[s, i] = 0
+        self._x[s, i] = self._cfg_x[s, i] = stream.loss_numerator
+        self._y[s, i] = self._cfg_y[s, i] = stream.loss_denominator
+        self._period[s, i] = stream.period
+        self._init_deadline[s, i] = stream.initial_deadline
+        self._mode[s, i] = _MODE_CODE[stream.mode]
+        self._dwcs_like[s, i] = _MODE_CODE[stream.mode] in _DWCS_LIKE
+        return TensorSlotView(self, s, i)
+
+    def slot(self, scenario: int, sid: int) -> TensorSlotView:
+        """View of the slot bound to stream ``sid`` in one scenario."""
+        if (
+            not (0 <= scenario < self.n_scenarios)
+            or not (0 <= sid < self._n)
+            or self._configs[scenario][sid] is None
+        ):
+            raise KeyError(
+                f"no stream loaded in scenario {scenario} slot {sid}"
+            )
+        return TensorSlotView(self, scenario, sid)
+
+    def enqueue(
+        self,
+        scenario: int,
+        sid: int,
+        deadline: int,
+        arrival: int,
+        length: int = 1500,
+    ) -> None:
+        """Deposit one packet request into a scenario's slot queue."""
+        if self._configs[scenario][sid] is None:
+            raise KeyError(
+                f"no stream loaded in scenario {scenario} slot {sid}"
+            )
+        self._queues[scenario][sid].append((deadline, arrival, length))
+        if not self._has_head[scenario, sid]:
+            self._latch_next(scenario, sid)
+
+    # ------------------------------------------------------------------
+    # Register Base block update mirror (scalar, one scenario-slot)
+    # ------------------------------------------------------------------
+
+    def _latch_next(self, s: int, i: int) -> None:
+        q = self._queues[s][i]
+        if not q:
+            self._has_head[s, i] = False
+            return
+        deadline, arrival, length = q.popleft()
+        self._head_deadline[s, i] = deadline
+        self._head_arrival[s, i] = arrival
+        self._head_length[s, i] = length
+        attr_dl = deadline
+        if self._mode[s, i] == _EDF:
+            attr_dl += int(self._edf_bias[s, i])
+        if self._wrap:
+            self._attr_deadline[s, i] = attr_dl & _DL_MASK
+            self._attr_arrival[s, i] = arrival & _ARR_MASK
+        else:
+            self._attr_deadline[s, i] = attr_dl
+            self._attr_arrival[s, i] = arrival
+        self._has_head[s, i] = True
+        self._loads[s, i] += 1
+
+    def _head_is_late(self, s: int, i: int, now: int) -> bool:
+        if not self._has_head[s, i]:
+            return False
+        d = int(self._head_deadline[s, i])
+        if self._wrap:
+            diff = (d - now) & _DL_MASK
+            return diff >= _DL_HALF
+        return d < now
+
+    def _reset_window(self, s: int, i: int) -> None:
+        self._x[s, i] = self._cfg_x[s, i]
+        self._y[s, i] = self._cfg_y[s, i]
+        self._window_resets[s, i] += 1
+
+    def _apply_win_update(self, s: int, i: int) -> None:
+        if self._y[s, i] > 0:
+            self._y[s, i] -= 1
+        if self._y[s, i] == 0 or self._y[s, i] <= self._x[s, i]:
+            self._reset_window(s, i)
+
+    def _apply_loss_update(self, s: int, i: int) -> None:
+        if self._x[s, i] > 0:
+            self._x[s, i] -= 1
+            if self._y[s, i] > 0:
+                self._y[s, i] -= 1
+            if self._y[s, i] == 0 or self._x[s, i] == self._y[s, i]:
+                self._reset_window(s, i)
+        else:
+            self._violations[s, i] += 1
+            self._y[s, i] = min(int(self._y[s, i]) + 1, _Y_MAX)
+
+    def _record_miss(self, s: int, i: int, now: int) -> bool:
+        if not self._head_is_late(s, i, now):
+            return False
+        self._missed[s, i] += 1
+        if self._mode[s, i] in _DWCS_LIKE:
+            self._apply_loss_update(s, i)
+        return True
+
+    def _service(
+        self, s: int, i: int, now: int, *, as_winner: bool | None = None
+    ) -> tuple[int, int, int] | None:
+        if not self._has_head[s, i]:
+            return None
+        self._serviced[s, i] += 1
+        mode = int(self._mode[s, i])
+        if mode in _DWCS_LIKE:
+            if as_winner is None:
+                if self._head_is_late(s, i, now):
+                    self._apply_loss_update(s, i)
+                else:
+                    self._apply_win_update(s, i)
+            elif as_winner:
+                self._apply_win_update(s, i)
+        elif mode == _EDF and as_winner is not False:
+            self._edf_bias[s, i] += self._period[s, i]
+        packet = (
+            int(self._head_deadline[s, i]),
+            int(self._head_arrival[s, i]),
+            int(self._head_length[s, i]),
+        )
+        self._latch_next(s, i)
+        return packet
+
+    # ------------------------------------------------------------------
+    # SCHEDULE phase: rank + network emulation, batched over scenarios
+    # ------------------------------------------------------------------
+
+    def _rank(
+        self,
+        now: int,
+        valid: np.ndarray,
+        attr_dl: np.ndarray,
+        attr_arr: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> np.ndarray:
+        """``(S, N)`` slot orders, highest-priority-first per scenario.
+
+        One :func:`numpy.lexsort` over the Table 2 key cascade ranks
+        *every scenario in the campaign* in a single call — the keys
+        are ``(S, N)`` and the sort runs along the last axis.
+        """
+        if self._wrap:
+            dl = (attr_dl - now) & _DL_MASK
+            dl = dl - (_DL_MOD * (dl >= _DL_HALF))
+            arr = (attr_arr - now) & _ARR_MASK
+            arr = arr - (_ARR_MOD * (arr >= _ARR_HALF))
+        else:
+            dl = attr_dl
+            arr = attr_arr
+        invalid = ~valid
+        sid = self._sid2d
+        if self._deadline_only:
+            return np.lexsort((sid, arr, dl, invalid), axis=-1)
+        zero_wc = (x == 0) | (y == 0)
+        wc = np.where(zero_wc, 0.0, x / np.where(y == 0, 1, y))
+        den_key = np.where(zero_wc, -y, 0)
+        num_key = np.where(zero_wc, 0, x)
+        return np.lexsort(
+            (sid, arr, num_key, den_key, wc, dl, invalid), axis=-1
+        )
+
+    def _emit_positions(self, order: np.ndarray) -> np.ndarray:
+        """``(S, N)`` slot IDs in emitted network-position order.
+
+        Replays the compare-exchange network on the per-scenario rank
+        arrays; each pass's index/partner geometry broadcasts across the
+        scenario axis, so S networks advance per array op.
+        """
+        s_count, n = order.shape
+        rank = np.empty_like(order)
+        np.put_along_axis(rank, order, self._sid2d, axis=1)
+        state = np.tile(np.arange(n, dtype=np.int64), (s_count, 1))
+        if self.config.schedule == "bitonic":
+            for idx, partner, asc in self._bitonic_passes:
+                wi = state[:, idx]
+                wp = state[:, partner]
+                ri = np.take_along_axis(rank, wi, axis=1)
+                rp = np.take_along_axis(rank, wp, axis=1)
+                swap = np.where(asc, ri > rp, ri < rp)
+                state[:, idx] = np.where(swap, wp, wi)
+                state[:, partner] = np.where(swap, wi, wp)
+        else:
+            for _ in range(self._log2n):
+                state = state[:, self._shuffle]
+                r = np.take_along_axis(rank, state, axis=1)
+                a = state[:, 0::2]
+                b = state[:, 1::2]
+                swap = r[:, 0::2] > r[:, 1::2]
+                lo = np.where(swap, b, a)
+                hi = np.where(swap, a, b)
+                state[:, 0::2] = lo
+                state[:, 1::2] = hi
+        return state
+
+    @property
+    def _schedule_passes(self) -> int:
+        if self.config.schedule == "bitonic" and not self.config.winner_only:
+            return len(self._bitonic_passes)
+        return self._log2n
+
+    # ------------------------------------------------------------------
+    # batched miss registration and window updates
+    # ------------------------------------------------------------------
+
+    def _register_misses(self, late: np.ndarray) -> None:
+        """Vectorized miss path over all late heads in all scenarios."""
+        self._missed[late] += 1
+        dwcs = late & self._dwcs_like
+        if not dwcs.any():
+            return
+        x, y = self._x, self._y
+        has_loss = dwcs & (x > 0)
+        x[has_loss] -= 1
+        dec_y = has_loss & (y > 0)
+        y[dec_y] -= 1
+        reset = has_loss & ((y == 0) | (x == y))
+        x[reset] = self._cfg_x[reset]
+        y[reset] = self._cfg_y[reset]
+        self._window_resets[reset] += 1
+        violated = dwcs & ~has_loss
+        self._violations[violated] += 1
+        y[violated] = np.minimum(y[violated] + 1, _Y_MAX)
+
+    def _win_update_at(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Batched win update at distinct ``(scenario, slot)`` pairs.
+
+        Callers pass at most one winner per scenario row, so the
+        scatter writes never collide.
+        """
+        x = self._x[rows, cols]
+        y = self._y[rows, cols]
+        y = np.where(y > 0, y - 1, y)
+        reset = (y == 0) | (y <= x)
+        self._y[rows, cols] = y
+        rr, cc = rows[reset], cols[reset]
+        self._x[rr, cc] = self._cfg_x[rr, cc]
+        self._y[rr, cc] = self._cfg_y[rr, cc]
+        self._window_resets[rr, cc] += 1
+
+    def _loss_update_at(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Batched loss update at distinct ``(scenario, slot)`` pairs."""
+        x = self._x[rows, cols]
+        y = self._y[rows, cols]
+        has_loss = x > 0
+        nx = np.where(has_loss, x - 1, x)
+        ny = np.where(has_loss & (y > 0), y - 1, y)
+        reset = has_loss & ((ny == 0) | (nx == ny))
+        violated = ~has_loss
+        ny = np.where(violated, np.minimum(ny + 1, _Y_MAX), ny)
+        self._x[rows, cols] = nx
+        self._y[rows, cols] = ny
+        rr, cc = rows[reset], cols[reset]
+        self._x[rr, cc] = self._cfg_x[rr, cc]
+        self._y[rr, cc] = self._cfg_y[rr, cc]
+        self._window_resets[rr, cc] += 1
+        self._violations[rows[violated], cols[violated]] += 1
+
+    # ------------------------------------------------------------------
+    # decision cycle (SCHEDULE + PRIORITY_UPDATE), lockstep over S
+    # ------------------------------------------------------------------
+
+    def decision_cycle_all(
+        self,
+        now: int,
+        *,
+        consume="winner",
+        count_misses=True,
+        drop_late=False,
+    ) -> list[DecisionOutcome]:
+        """Run one decision cycle at ``now`` in *every* scenario.
+
+        ``consume``, ``count_misses`` and ``drop_late`` accept either a
+        single value for the whole campaign or one value per scenario
+        (the differential buckets mix policies freely — only the
+        architecture shape must agree).  Returns one
+        :class:`~repro.core.scheduler.DecisionOutcome` per scenario,
+        each identical to what the reference engine produces for that
+        scenario in isolation.
+        """
+        s_count = self.n_scenarios
+        consume_s = _per_scenario(consume, s_count, "consume")
+        count_s = _per_scenario(count_misses, s_count, "count_misses")
+        drop_s = _per_scenario(drop_late, s_count, "drop_late")
+        for c in consume_s:
+            if c not in ("winner", "block", "none"):
+                raise ValueError(f"unknown consume policy {c!r}")
+
+        dropped: list[list[tuple[int, PendingPacket]]] = [
+            [] for _ in range(s_count)
+        ]
+        for s in range(s_count):
+            if not drop_s[s]:
+                continue
+            for i in np.nonzero(self._loaded[s])[0]:
+                i = int(i)
+                while True:
+                    if count_s[s] and self._head_is_late(s, i, now):
+                        self._record_miss(s, i, now)
+                    if not self._head_is_late(s, i, now):
+                        break
+                    d, a, ln = (
+                        int(self._head_deadline[s, i]),
+                        int(self._head_arrival[s, i]),
+                        int(self._head_length[s, i]),
+                    )
+                    self._latch_next(s, i)
+                    dropped[s].append(
+                        (i, PendingPacket(deadline=d, arrival=a, length=ln))
+                    )
+
+        # SCHEDULE: one rank + one network replay for all scenarios.
+        valid = self._has_head & self._loaded
+        rank_order = self._rank(
+            now, valid, self._attr_deadline, self._attr_arrival,
+            self._x, self._y,
+        )
+        if self.config.winner_only:
+            winners = rank_order[:, 0]
+            orders = [
+                [int(w)] if valid[s, w] else []
+                for s, w in enumerate(winners)
+            ]
+        else:
+            emitted = self._emit_positions(rank_order)
+            emitted_valid = np.take_along_axis(valid, emitted, axis=1)
+            orders = [
+                emitted[s][emitted_valid[s]].tolist()
+                for s in range(s_count)
+            ]
+        passes = self._schedule_passes
+        self.control.schedule(passes, detail=f"t={now}")
+
+        # Miss registration, batched over the scenarios that count them.
+        if self._wrap:
+            diff = (self._head_deadline - now) & _DL_MASK
+            late = valid & (diff >= _DL_HALF)
+        else:
+            late = valid & (self._head_deadline < now)
+        counting = np.asarray(count_s, dtype=bool)
+        counted_late = late & counting[:, None]
+        misses = [[] for _ in range(s_count)]
+        if counted_late.any():
+            miss_rows = counted_late.any(axis=1)
+            for s in np.nonzero(miss_rows)[0]:
+                misses[int(s)] = np.nonzero(counted_late[s])[0].tolist()
+            self._register_misses(counted_late)
+
+        # PRIORITY_UPDATE: per-scenario circulate/consume (queue-backed,
+        # so the service path stays scalar like the batch engine's).
+        update_cycles = self.config.update_cycles
+        max_first = self.config.block_mode is BlockMode.MAX_FIRST
+        outcomes: list[DecisionOutcome] = []
+        any_circulated: int | None = None
+        for s in range(s_count):
+            order = orders[s]
+            circulated: int | None = None
+            serviced: list[tuple[int, PendingPacket]] = []
+            if order:
+                update_sid = order[0]
+                circulated = order[0] if max_first else order[-1]
+                policy = consume_s[s]
+                if policy == "winner":
+                    if count_s[s] and self._head_is_late(s, circulated, now):
+                        packet = self._service(
+                            s, circulated, now, as_winner=False
+                        )
+                    else:
+                        packet = self._service(s, circulated, now)
+                    if packet is not None:
+                        serviced.append((circulated, PendingPacket(*packet)))
+                elif policy == "block":
+                    if self.config.routing is Routing.WR:
+                        raise ValueError(
+                            "block consumption requires BA routing "
+                            "(WR emits only the winner)"
+                        )
+                    consume_order = (
+                        order if max_first else list(reversed(order))
+                    )
+                    for sid in consume_order:
+                        packet = self._service(
+                            s, sid, now, as_winner=(sid == update_sid)
+                        )
+                        if packet is not None:
+                            serviced.append((sid, PendingPacket(*packet)))
+                self._wins[s, circulated] += 1
+                any_circulated = circulated
+            outcomes.append(
+                DecisionOutcome(
+                    now=now,
+                    block=tuple(order),
+                    circulated_sid=circulated,
+                    serviced=tuple(serviced),
+                    misses=tuple(misses[s]),
+                    hw_cycles=passes + update_cycles,
+                    dropped=tuple(dropped[s]),
+                )
+            )
+        self.control.priority_update(
+            update_cycles, detail=f"circulate={any_circulated}"
+        )
+        if self.observers is not None:
+            for s, observer in enumerate(self.observers):
+                if observer is not None:
+                    observer.on_decision(outcomes[s])
+        return outcomes
+
+    def advance_idle(self, count: int) -> None:
+        """Bulk-account ``count`` decision cycles where nothing is live.
+
+        The campaign-level idle fast-forward: callers that *know* no
+        scenario has a pending head (and no arrivals land) skip the
+        rank/network/update array ops entirely and advance the lockstep
+        control accounting in O(1).
+        """
+        if count <= 0:
+            return
+        self.control.advance_decision_cycles(
+            count,
+            self._schedule_passes,
+            self.config.update_cycles,
+            detail="idle fast-forward",
+        )
+        self._fast_forwarded += count
+
+    @property
+    def has_pending(self) -> bool:
+        """True when any scenario has a latched head."""
+        return bool((self._has_head & self._loaded).any())
+
+    def idle_outcome(self, now: int) -> DecisionOutcome:
+        """The outcome every scenario observes on an idle cycle."""
+        return DecisionOutcome(
+            now=now,
+            block=(),
+            circulated_sid=None,
+            serviced=(),
+            misses=(),
+            hw_cycles=self._schedule_passes + self.config.update_cycles,
+            dropped=(),
+        )
+
+    # ------------------------------------------------------------------
+    # self-advancing periodic workloads, tensorized whole-campaign runs
+    # ------------------------------------------------------------------
+
+    def run_periodic(
+        self,
+        n_cycles: int,
+        *,
+        offsets: np.ndarray | None = None,
+        step: np.ndarray | int | None = None,
+        stride: np.ndarray | int | None = None,
+        consume: str = "winner",
+        count_misses: bool = True,
+        collect_winners: bool = False,
+        fast_forward: bool = True,
+    ) -> list[PeriodicRunResult]:
+        """Run a periodic feed through *every* scenario in lockstep.
+
+        The tensorized twin of
+        :meth:`~repro.core.batch_engine.BatchScheduler.run_periodic`:
+        per decision cycle, ranking, the winner selection, miss
+        registration and the DWCS window updates each run as one
+        ``(S, N)`` array op, so the whole campaign advances per cycle
+        at (amortized) the Python cost of a single scenario.  Scenarios
+        whose slots are all idle at ``t`` simply sit out that cycle;
+        when the *entire campaign* is idle, ``now`` fast-forwards to
+        the next release boundary with bulk control accounting.
+
+        ``offsets``/``step``/``stride`` broadcast over ``(S, N)``.
+        Returns one :class:`PeriodicRunResult` per scenario, each
+        identical to the per-scenario ``BatchScheduler`` run.
+        """
+        if self._wrap:
+            raise ValueError(
+                "run_periodic requires ideal arithmetic (wrap=False)"
+            )
+        if consume not in ("winner", "block"):
+            raise ValueError(f"unknown consume policy {consume!r}")
+        if consume == "block" and self.config.routing is Routing.WR:
+            raise ValueError(
+                "block consumption requires BA routing "
+                "(WR emits only the winner)"
+            )
+        s_count, n = self.n_scenarios, self._n
+        shape = (s_count, n)
+        loaded = self._loaded
+        if offsets is None:
+            offs = np.where(loaded, self._init_deadline, 0)
+        else:
+            offs = np.broadcast_to(
+                np.asarray(offsets, dtype=np.int64), shape
+            ).copy()
+        if step is None:
+            steps = self._period.copy()
+        else:
+            steps = np.broadcast_to(
+                np.asarray(step, dtype=np.int64), shape
+            ).copy()
+        if stride is None:
+            strides = np.ones(shape, dtype=np.int64)
+        else:
+            strides = np.broadcast_to(
+                np.asarray(stride, dtype=np.int64), shape
+            ).copy()
+            if (strides < 1).any():
+                raise ValueError("stride must be >= 1")
+
+        consumed = np.zeros(shape, dtype=np.int64)
+        bias = self._edf_bias
+        edf = self._mode == _EDF
+        max_first = self.config.block_mode is BlockMode.MAX_FIRST
+        winner_only = self.config.winner_only
+        winners = (
+            np.full((s_count, n_cycles), -1, dtype=np.int64)
+            if collect_winners
+            else None
+        )
+        update_cycles = self.config.update_cycles
+        srange = np.arange(s_count)
+        t = 0
+        while t < n_cycles:
+            avail = consumed * strides
+            valid = loaded & (avail <= t)
+            active = valid.any(axis=1)
+            if not active.any():
+                if fast_forward:
+                    pending = avail[loaded]
+                    nxt = int(pending.min()) if pending.size else n_cycles
+                    nxt = min(max(nxt, t + 1), n_cycles)
+                    self.advance_idle(nxt - t)
+                    t = nxt
+                else:
+                    self.control.schedule(
+                        self._schedule_passes, detail=f"t={t}"
+                    )
+                    self.control.priority_update(
+                        update_cycles, detail="circulate=None"
+                    )
+                    t += 1
+                continue
+            real_dl = offs + consumed * steps
+            attr_dl = real_dl + np.where(edf, bias, 0)
+            order = self._rank(t, valid, attr_dl, consumed, self._x, self._y)
+            late = valid & (real_dl < t)
+            if count_misses and late.any():
+                self._register_misses(late)
+            # Emitted block head / tail selection, one per scenario.
+            w = order[:, 0]
+            if winner_only or max_first:
+                circulated = w
+            else:
+                emitted = self._emit_positions(order)
+                emitted_valid = np.take_along_axis(valid, emitted, axis=1)
+                # Last valid network position per scenario (block tail).
+                last = n - 1 - np.argmax(emitted_valid[:, ::-1], axis=1)
+                circulated = emitted[srange, last]
+            rows = np.nonzero(active)[0]
+            cols = circulated[rows]
+            if consume == "winner":
+                late_c = late[rows, cols]
+                dw = self._dwcs_like[rows, cols]
+                edf_c = edf[rows, cols]
+                if count_misses:
+                    # Late winners already took the miss-path loss
+                    # update; only on-time winners get the win update.
+                    win_mask = dw & ~late_c
+                    loss_mask = np.zeros_like(late_c)
+                    edf_mask = edf_c & ~late_c
+                else:
+                    win_mask = dw & ~late_c
+                    loss_mask = dw & late_c
+                    edf_mask = edf_c
+                if win_mask.any():
+                    self._win_update_at(rows[win_mask], cols[win_mask])
+                if loss_mask.any():
+                    self._loss_update_at(rows[loss_mask], cols[loss_mask])
+                if edf_mask.any():
+                    er, ec = rows[edf_mask], cols[edf_mask]
+                    bias[er, ec] += steps[er, ec]
+                self._serviced[rows, cols] += 1
+                consumed[rows, cols] += 1
+            else:  # block: every valid head consumed this cycle
+                hr, hc = rows, w[rows]
+                dw = self._dwcs_like[hr, hc]
+                edf_c = edf[hr, hc]
+                if dw.any():
+                    self._win_update_at(hr[dw], hc[dw])
+                if edf_c.any():
+                    er, ec = hr[edf_c], hc[edf_c]
+                    bias[er, ec] += steps[er, ec]
+                self._serviced[valid] += 1
+                consumed[valid] += 1
+            self._wins[rows, cols] += 1
+            if winners is not None:
+                winners[rows, t] = cols
+            self.control.schedule(self._schedule_passes, detail=f"t={t}")
+            self.control.priority_update(
+                update_cycles, detail="circulate=<campaign>"
+            )
+            t += 1
+        return [
+            PeriodicRunResult(
+                n_streams=int(loaded[s].sum()),
+                decision_cycles=n_cycles,
+                wins=self._wins[s].copy(),
+                misses=self._missed[s].copy(),
+                serviced=self._serviced[s].copy(),
+                frames_scheduled=int(self._serviced[s].sum()),
+                winners=winners[s].copy() if winners is not None else None,
+            )
+            for s in range(s_count)
+        ]
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def cycles_per_decision(self) -> int:
+        """Hardware cycles one decision cycle consumes."""
+        return self.config.sort_passes + self.config.update_cycles
+
+    @property
+    def fast_forwarded(self) -> int:
+        """Idle decision cycles skipped in bulk (campaign-wide)."""
+        return self._fast_forwarded
+
+    def _slot_counters(self, s: int, i: int) -> SlotCounters:
+        return SlotCounters(
+            wins=int(self._wins[s, i]),
+            serviced=int(self._serviced[s, i]),
+            missed_deadlines=int(self._missed[s, i]),
+            violations=int(self._violations[s, i]),
+            window_resets=int(self._window_resets[s, i]),
+            loads=int(self._loads[s, i]),
+        )
+
+    def counters(self, scenario: int) -> dict[int, SlotCounters]:
+        """Per-stream performance counters for one scenario."""
+        return {
+            i: self._slot_counters(scenario, i)
+            for i in range(self._n)
+            if self._configs[scenario][i] is not None
+        }
+
+
+class TensorScheduler:
+    """Single-scenario adapter over :class:`CampaignEngine`.
+
+    Drop-in for the reference and batch engines
+    (``make_scheduler(..., engine="tensor")``): the full scheduler
+    surface — ``load_stream`` / ``enqueue`` / ``decision_cycle`` /
+    ``slot`` / ``counters`` / ``run_periodic`` / ``control`` /
+    ``observer`` — backed by a one-row campaign, so the tensor code
+    paths are exercised (and differentially validated) even at S=1.
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        streams: list[StreamConfig] | None = None,
+        *,
+        trace_timeline: bool = False,
+        trace=None,
+        observer=None,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.observer = resolve_observer(trace, observer)
+        self.trace_timeline = trace_timeline
+        self._engine = CampaignEngine(
+            config,
+            [list(streams) if streams else None],
+            observers=[self.observer] if self.observer is not None else None,
+            trace_timeline=trace_timeline,
+        )
+        self.control = self._engine.control
+
+    @property
+    def engine(self) -> CampaignEngine:
+        """The backing one-row campaign engine."""
+        return self._engine
+
+    def load_stream(self, stream: StreamConfig) -> TensorSlotView:
+        """Bind a stream's service constraints to its stream-slot."""
+        return self._engine.load_stream(0, stream)
+
+    def slot(self, sid: int) -> TensorSlotView:
+        """View of the slot bound to stream ``sid``."""
+        return self._engine.slot(0, sid)
+
+    @property
+    def active_slots(self) -> list[TensorSlotView]:
+        """All populated stream-slots, in slot order."""
+        return [
+            TensorSlotView(self._engine, 0, i)
+            for i in range(self._engine._n)
+            if self._engine._configs[0][i] is not None
+        ]
+
+    def enqueue(
+        self, sid: int, deadline: int, arrival: int, length: int = 1500
+    ) -> None:
+        """Deposit one packet request into a slot's pending queue."""
+        self._engine.enqueue(0, sid, deadline, arrival, length)
+
+    def decision_cycle(
+        self,
+        now: int,
+        *,
+        consume: str = "winner",
+        count_misses: bool = True,
+        drop_late: bool = False,
+    ) -> DecisionOutcome:
+        """Run one full decision cycle at scheduler time ``now``."""
+        return self._engine.decision_cycle_all(
+            now,
+            consume=consume,
+            count_misses=count_misses,
+            drop_late=drop_late,
+        )[0]
+
+    def run_periodic(self, n_cycles: int, **kwargs) -> PeriodicRunResult:
+        """Single-scenario slice of :meth:`CampaignEngine.run_periodic`."""
+        result = self._engine.run_periodic(n_cycles, **kwargs)[0]
+        if self.observer is not None:
+            summary_hook = getattr(self.observer, "on_run_summary", None)
+            if summary_hook is not None:
+                summary_hook(result)
+        return result
+
+    @property
+    def cycles_per_decision(self) -> int:
+        """Hardware cycles one decision cycle consumes."""
+        return self._engine.cycles_per_decision
+
+    @property
+    def fast_forwarded(self) -> int:
+        """Idle decision cycles skipped in bulk by ``run_periodic``."""
+        return self._engine.fast_forwarded
+
+    def counters(self) -> dict[int, SlotCounters]:
+        """Per-stream performance counters, keyed by stream ID."""
+        return self._engine.counters(0)

@@ -28,6 +28,7 @@ from repro.core.attributes import SchedulingMode, StreamConfig
 from repro.core.batch_engine import BatchScheduler, make_scheduler
 from repro.core.config import ArchConfig, Routing
 from repro.core.scheduler import ShareStreamsScheduler
+from repro.core.tensor_engine import TensorScheduler
 from repro.endsystem.queue_manager import Frame, QueueManager
 from repro.endsystem.streaming_unit import StreamingUnit
 from repro.endsystem.transmission import TransmissionEngine
@@ -64,9 +65,11 @@ class EndsystemConfig:
     directly with the FPGA card).
 
     ``engine`` selects the scheduler implementation: ``"reference"``
-    (the cycle-level object model, the oracle) or ``"batch"`` (the
-    vectorized engine, behaviorally identical — cross-validated by
-    :mod:`repro.core.differential`).
+    (the cycle-level object model, the oracle), ``"batch"`` (the
+    vectorized engine) or ``"tensor"`` (the scenario-tensorized
+    campaign engine's single-scenario adapter) — both fast paths are
+    behaviorally identical, cross-validated by
+    :mod:`repro.core.differential`.
     """
 
     link: Link = PLAYOUT_LINK_128M
@@ -101,7 +104,7 @@ class EndsystemResult:
     te: TransmissionEngine
     pci: PCIBus
     sram: BankedSRAM
-    scheduler: ShareStreamsScheduler | BatchScheduler
+    scheduler: ShareStreamsScheduler | BatchScheduler | TensorScheduler
 
     @property
     def throughput_pps(self) -> float:

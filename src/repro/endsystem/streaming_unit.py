@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core.batch_engine import BatchScheduler
 from repro.core.scheduler import ShareStreamsScheduler
+from repro.core.tensor_engine import TensorScheduler
 from repro.endsystem.queue_manager import QueueManager
 from repro.sim.pci import PCIBus
 from repro.sim.sram import BankedSRAM, Owner
@@ -50,7 +51,7 @@ class StreamingUnit:
     def __init__(
         self,
         qm: QueueManager,
-        scheduler: ShareStreamsScheduler | BatchScheduler,
+        scheduler: ShareStreamsScheduler | BatchScheduler | TensorScheduler,
         periods: dict[int, int],
         *,
         pci: PCIBus | None = None,

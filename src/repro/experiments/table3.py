@@ -36,7 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.attributes import SchedulingMode, StreamConfig
-from repro.core.batch_engine import BatchScheduler, make_scheduler
+from repro.core.batch_engine import make_scheduler
 from repro.core.config import ArchConfig, BlockMode, Routing
 
 __all__ = [
@@ -123,7 +123,7 @@ def run_max_finding(
     """
     scheduler = _make_scheduler(Routing.WR, BlockMode.MAX_FIRST, engine, observer)
     n_cycles = N_STREAMS * frames_per_stream
-    if isinstance(scheduler, BatchScheduler):
+    if hasattr(scheduler, "run_periodic"):
         scheduler.run_periodic(
             n_cycles,
             offsets=_OFFSETS,
@@ -181,7 +181,7 @@ def run_block(
     scheduler = _make_scheduler(Routing.BA, block_mode, engine, observer)
     n_cycles = frames_per_stream
     missed = [0] * N_STREAMS
-    if isinstance(scheduler, BatchScheduler):
+    if hasattr(scheduler, "run_periodic"):
         res = scheduler.run_periodic(
             n_cycles,
             offsets=_OFFSETS,

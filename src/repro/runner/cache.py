@@ -40,7 +40,10 @@ from typing import Any
 __all__ = ["CACHE_SCHEMA", "CacheStats", "ResultCache"]
 
 #: Bump when the cached-entry layout or the summary semantics change.
-CACHE_SCHEMA = 1
+#: 2: tensor-engine campaign paths landed; pre-tensor entries (which
+#: predate the per-engine key payloads) are invalidated wholesale so
+#: batch- and tensor-path results can never be conflated.
+CACHE_SCHEMA = 2
 
 
 def _package_version() -> str:

@@ -1,0 +1,377 @@
+"""Tensor engine differential tests: campaign batching + fast-forward.
+
+Three properties are pinned here:
+
+* **Three-way agreement** — reference (object model), batch
+  (single-scenario vectorized) and tensor (scenario-batched campaign
+  engine) produce identical cycle records and final counters on >= 100
+  randomized scenarios grouped into same-shape buckets (the bucketing
+  contract in ``docs/ENGINES.md``).
+* **Idle-cycle fast-forward is invisible** — skipping globally-idle
+  decision cycles in bulk never changes any observable: periodic runs
+  with ``fast_forward`` on and off match array-for-array (including
+  the traced hardware timeline), and bucketed runs over sparse
+  workloads still match the per-cycle oracle record-for-record.
+  (The golden decision trace in ``tests/test_trace_replay.py`` is
+  replayed through the tensor adapter there, byte-for-byte.)
+* **Campaign plumbing** — ``campaign(engine="tensor")`` serializes
+  byte-identically to the sequential path, under any worker count,
+  with its own result-cache namespace and merged telemetry.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.batch_engine import BatchScheduler, build_bitonic_passes
+from repro.core.config import ArchConfig, BlockMode, Routing
+from repro.core.differential import (
+    bucket_key,
+    campaign,
+    cross_validate,
+    cross_validate_bucket,
+    generate_scenario,
+    run_bucket,
+    run_engine,
+)
+from repro.core.tensor_engine import CampaignEngine, TensorScheduler
+
+# ----------------------------------------------------------------------
+# helpers
+
+
+def _bucketed(scenarios):
+    """Group scenarios by their same-shape bucket key, first-seen order."""
+    buckets: dict[tuple, list] = {}
+    for scenario in scenarios:
+        buckets.setdefault(bucket_key(scenario), []).append(scenario)
+    return buckets
+
+
+_MODES = (
+    SchedulingMode.EDF,
+    SchedulingMode.DWCS,
+    SchedulingMode.FAIR_SHARE,
+    SchedulingMode.STATIC_PRIORITY,
+)
+
+
+def _random_arch_streams(seed: int, n_slots: int):
+    """A randomized ideal-arithmetic configuration for periodic runs."""
+    rng = random.Random(seed)
+    arch = ArchConfig(
+        n_slots=n_slots,
+        routing=rng.choice((Routing.WR, Routing.BA)),
+        block_mode=rng.choice((BlockMode.MAX_FIRST, BlockMode.MIN_FIRST)),
+        schedule=rng.choice(("bitonic", "paper")),
+        wrap=False,
+    )
+    streams = []
+    for sid in range(n_slots):
+        mode = rng.choice(_MODES)
+        if mode in (SchedulingMode.DWCS, SchedulingMode.FAIR_SHARE):
+            y = rng.randint(1, 4)
+            x = rng.randint(0, y)
+        else:
+            x = y = 0
+        streams.append(
+            StreamConfig(
+                sid=sid,
+                period=rng.randint(1, 5),
+                loss_numerator=x,
+                loss_denominator=y,
+                initial_deadline=rng.randint(0, 6),
+                mode=mode,
+            )
+        )
+    return arch, streams
+
+
+def _periodic_observables(scheduler, result):
+    """Everything a periodic run exposes, as comparable plain data."""
+    counters = scheduler.counters()
+    return {
+        "wins": result.wins.tolist(),
+        "misses": result.misses.tolist(),
+        "serviced": result.serviced.tolist(),
+        "frames": result.frames_scheduled,
+        "winners": None if result.winners is None else result.winners.tolist(),
+        "counters": {
+            sid: (c.wins, c.serviced, c.missed_deadlines, c.violations,
+                  c.window_resets, c.loads)
+            for sid, c in counters.items()
+        },
+        "hw_cycle": scheduler.control.hw_cycle,
+        "decision_cycles": scheduler.control.decision_cycles,
+        # Residency intervals only — the free-form ``detail`` strings
+        # legitimately differ ("idle fast-forward" vs per-cycle text).
+        "timeline": [
+            (e.state, e.start_cycle, e.cycles)
+            for e in scheduler.control.timeline
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+
+
+class TestThreeWayDifferential:
+    def test_hundred_randomized_bucketed_scenarios(self):
+        """The tensor acceptance campaign: >= 100 seeded scenarios,
+        bucketed by shape, each compared cycle-for-cycle and
+        counter-for-counter against BOTH the object model and the
+        batch engine."""
+        scenarios = [
+            generate_scenario(seed, n_cycles=150) for seed in range(110)
+        ]
+        buckets = _bucketed(scenarios)
+        assert len(scenarios) >= 100
+        # The bucketing must actually batch: some bucket holds S > 1.
+        assert max(len(m) for m in buckets.values()) > 1
+        assert {s.routing for s in scenarios} == {Routing.BA, Routing.WR}
+        assert {s.block_mode for s in scenarios} == {
+            BlockMode.MAX_FIRST, BlockMode.MIN_FIRST,
+        }
+        for members in buckets.values():
+            tensor_traces = run_bucket(members)
+            for scenario, tensor in zip(members, tensor_traces):
+                ref = run_engine(scenario, "reference")
+                bat = run_engine(scenario, "batch")
+                context = f"\nreproduce with seed {scenario.seed}"
+                assert bat.records == ref.records, context
+                assert tensor.records == ref.records, context
+                assert bat.counters == ref.counters, context
+                assert tensor.counters == ref.counters, context
+
+    def test_trace_mode_buckets_byte_identical_telemetry(self):
+        """Structured telemetry event streams from bucketed runs match
+        the oracle's, for buckets that genuinely batch (S > 1)."""
+        scenarios = [
+            generate_scenario(seed, n_cycles=120, max_slots=16)
+            for seed in range(60)
+        ]
+        checked = 0
+        for members in _bucketed(scenarios).values():
+            if len(members) < 2:
+                continue
+            divergences = cross_validate_bucket(members, mode="trace")
+            assert divergences == [None] * len(members)
+            checked += 1
+            if checked == 3:
+                break
+        assert checked == 3
+
+    def test_mixed_shape_bucket_rejected(self):
+        a = generate_scenario(0, n_cycles=100)
+        b = dataclasses.replace(a, n_cycles=101)
+        try:
+            run_bucket([a, b])
+        except ValueError as exc:
+            assert "shape" in str(exc)
+        else:  # pragma: no cover - failure path
+            raise AssertionError("mixed-shape bucket was accepted")
+
+
+class TestIdleFastForward:
+    @given(
+        seed=st.integers(0, 10_000),
+        stride=st.integers(2, 9),
+        n_slots=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_periodic_fast_forward_is_invisible(self, seed, stride, n_slots):
+        """``run_periodic`` with idle-cycle fast-forward produces the
+        identical observables — winner sequence, counters, hardware
+        cycle count AND the traced FSM timeline — as stepping every
+        idle cycle individually."""
+        arch, streams = _random_arch_streams(seed, n_slots)
+        observed = {}
+        for fast_forward in (True, False):
+            scheduler = BatchScheduler(arch, streams, trace_timeline=True)
+            result = scheduler.run_periodic(
+                60,
+                stride=stride,
+                consume="winner",
+                collect_winners=True,
+                fast_forward=fast_forward,
+            )
+            observed[fast_forward] = _periodic_observables(scheduler, result)
+            if fast_forward:
+                fast_forwarded = scheduler.fast_forwarded
+        assert observed[True] == observed[False]
+        if stride > n_slots:
+            # Winner-only service: at most n_slots consumptions become
+            # available per stride window, so idle gaps are guaranteed.
+            assert fast_forwarded > 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_bucket_matches_oracle_per_cycle(self, seed):
+        """Bucketed runs over sparse workloads (arrivals in ~5% of
+        cycles, so campaign-wide idle gaps dominate) still produce the
+        oracle's decision trace record-for-record."""
+        scenario = dataclasses.replace(
+            generate_scenario(seed, n_cycles=120, max_slots=16),
+            arrival_prob=0.05,
+        )
+        stats: dict = {}
+        (divergence,) = cross_validate_bucket([scenario], stats=stats)
+        assert divergence is None, f"\n{divergence}"
+        assert stats["cycles"] == 120
+
+    def test_sparse_bucket_actually_fast_forwards(self):
+        """Same-shape sparse siblings ride one engine and the idle gaps
+        are provably skipped (the telemetry counter is non-zero)."""
+        base = generate_scenario(7, n_cycles=200, max_slots=16)
+        members = [
+            dataclasses.replace(base, seed=seed, arrival_prob=0.03)
+            for seed in (7, 1007, 2007)
+        ]
+        stats: dict = {}
+        divergences = cross_validate_bucket(members, stats=stats)
+        assert divergences == [None, None, None]
+        assert stats["fast_forwarded"] > 0
+        assert stats["cycles"] == 3 * 200
+
+    def test_tensor_run_periodic_matches_batch_per_scenario(self):
+        """The tensorized periodic path (with fast-forward) equals S
+        independent batch-engine runs, winners array included."""
+        for case in range(10):
+            rng = random.Random(9000 + case)
+            n_slots = rng.choice((2, 4, 8))
+            arch, _ = _random_arch_streams(9000 + case, n_slots)
+            s_count = rng.randint(2, 5)
+            stream_lists = [
+                _random_arch_streams(13 * case + s, n_slots)[1]
+                for s in range(s_count)
+            ]
+            stride = np.array(
+                [[rng.randint(1, 6) for _ in range(n_slots)]
+                 for _ in range(s_count)],
+                dtype=np.int64,
+            )
+            consume = rng.choice(
+                ("winner",) if arch.routing is Routing.WR
+                else ("winner", "block")
+            )
+            engine = CampaignEngine(arch, stream_lists)
+            tensor_results = engine.run_periodic(
+                80, stride=stride, consume=consume, collect_winners=True
+            )
+            for s in range(s_count):
+                scheduler = BatchScheduler(arch, stream_lists[s])
+                expected = scheduler.run_periodic(
+                    80,
+                    stride=stride[s],
+                    consume=consume,
+                    collect_winners=True,
+                )
+                got = tensor_results[s]
+                context = f"case {case} scenario {s}"
+                assert got.wins.tolist() == expected.wins.tolist(), context
+                assert got.misses.tolist() == expected.misses.tolist(), context
+                assert (
+                    got.serviced.tolist() == expected.serviced.tolist()
+                ), context
+                assert (
+                    got.winners.tolist() == expected.winners.tolist()
+                ), context
+                assert got.frames_scheduled == expected.frames_scheduled
+
+
+class TestCampaignTensorPath:
+    def test_summary_byte_identical_to_sequential(self):
+        sequential = campaign(range(40), n_cycles=120)
+        tensor = campaign(range(40), n_cycles=120, engine="tensor")
+        assert tensor.passed
+        assert tensor.summary_json() == sequential.summary_json()
+
+    def test_worker_count_invisible(self):
+        solo = campaign(range(30), n_cycles=100, engine="tensor")
+        pooled = campaign(range(30), n_cycles=100, engine="tensor", workers=3)
+        assert pooled.summary_json() == solo.summary_json()
+
+    def test_cache_namespace_disjoint_from_batch(self, tmp_path):
+        """Tensor-path results never collide with cached batch-path
+        entries: a warm batch cache yields zero tensor hits, and a
+        second tensor run is served entirely from cache."""
+        seeds = range(20)
+        campaign(seeds, n_cycles=100, cache_dir=tmp_path)
+        cold = campaign(
+            seeds, n_cycles=100, engine="tensor", cache_dir=tmp_path
+        )
+        assert cold.cached == 0 and cold.executed == 20
+        warm = campaign(
+            seeds, n_cycles=100, engine="tensor", cache_dir=tmp_path
+        )
+        assert warm.cached == 20 and warm.executed == 0
+        assert warm.summary_json() == cold.summary_json()
+
+    def test_telemetry_merged_across_buckets(self):
+        result = campaign(range(25), n_cycles=100, engine="tensor")
+        assert result.engine == "tensor"
+        assert result.telemetry is not None
+        samples = result.telemetry["differential_bucket_scenarios_total"][
+            "samples"
+        ]
+        assert sum(samples.values()) == 25
+        assert "differential_fast_forwarded_cycles_total" in result.telemetry
+        # Telemetry is an execution fact: it must stay out of the
+        # canonical summary so engines serialize identically.
+        assert "telemetry" not in result.summary()
+
+    def test_single_seed_validator_tensor_engine(self):
+        for seed in range(12):
+            scenario = generate_scenario(seed, n_cycles=150)
+            divergence = cross_validate(scenario, engine="tensor")
+            assert divergence is None, f"\n{divergence}"
+
+
+class TestTensorAdapterSurface:
+    def test_single_scenario_adapter_matches_batch(self):
+        """TensorScheduler (S=1 slice) walks the same interactive
+        surface as BatchScheduler with identical outcomes."""
+        arch, streams = _random_arch_streams(42, 4)
+        tensor = TensorScheduler(arch, streams)
+        batch = BatchScheduler(arch, streams)
+        for t in range(50):
+            for sid in range(4):
+                if (t + sid) % 3 == 0:
+                    tensor.enqueue(sid, deadline=t + sid + 1, arrival=t)
+                    batch.enqueue(sid, deadline=t + sid + 1, arrival=t)
+            a = tensor.decision_cycle(t, consume="winner", count_misses=True)
+            b = batch.decision_cycle(t, consume="winner", count_misses=True)
+            assert a.circulated_sid == b.circulated_sid
+            assert a.block == b.block
+            assert a.misses == b.misses
+            assert a.hw_cycles == b.hw_cycles
+        for sid in range(4):
+            ts, bs = tensor.slot(sid), batch.slot(sid)
+            assert ts.backlog == bs.backlog
+            assert (ts.head is None) == (bs.head is None)
+        assert {
+            sid: (c.wins, c.serviced, c.missed_deadlines)
+            for sid, c in tensor.counters().items()
+        } == {
+            sid: (c.wins, c.serviced, c.missed_deadlines)
+            for sid, c in batch.counters().items()
+        }
+        assert tensor.cycles_per_decision == batch.cycles_per_decision
+
+    def test_bitonic_pass_schedules_shared_across_engines(self):
+        """Pass schedules are memoized per slot count: every engine
+        instance of the same width shares one tuple object."""
+        passes = build_bitonic_passes(8)
+        assert build_bitonic_passes(8) is passes
+        arch, streams = _random_arch_streams(
+            1, 8
+        )
+        arch = dataclasses.replace(arch, schedule="bitonic")
+        a = BatchScheduler(arch, streams)
+        b = CampaignEngine(arch, [streams, streams])
+        assert a._bitonic_passes is passes
+        assert b._bitonic_passes is passes

@@ -54,16 +54,19 @@ class TestReplayDeterminism:
     def test_engines_serialize_byte_identically(self):
         ref = _run_dwcs("reference").serialize()
         batch = _run_dwcs("batch").serialize()
+        tensor = _run_dwcs("tensor").serialize()
         assert ref == batch
+        assert ref == tensor
 
     @pytest.mark.parametrize("seed", [3, 17, 4242])
     def test_randomized_scenarios_byte_identical_across_engines(self, seed):
         scenario = generate_scenario(seed, n_cycles=120, max_slots=16)
         recs = {}
-        for engine in ("reference", "batch"):
+        for engine in ("reference", "batch", "tensor"):
             recs[engine] = TraceRecorder()
             run_engine(scenario, engine, observer=recs[engine])
         assert recs["reference"].serialize() == recs["batch"].serialize()
+        assert recs["reference"].serialize() == recs["tensor"].serialize()
 
     def test_serialization_round_trips(self):
         recorder = _run_dwcs("reference")
@@ -80,7 +83,7 @@ class TestGoldenDecisionTrace:
     def test_builder_matches_committed_vector(self, golden):
         assert build_decision_trace() == golden
 
-    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    @pytest.mark.parametrize("engine", ["reference", "batch", "tensor"])
     def test_engine_replays_golden_bytes(self, golden, engine):
         recorder = _run_dwcs(engine, n_cycles=golden["n_cycles"])
         assert recorder.serialize().decode("utf-8") == golden["jsonl"]
