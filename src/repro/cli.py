@@ -466,6 +466,71 @@ def _render_value(value) -> str:
     return f"{value:.4f}" if isinstance(value, float) else str(value)
 
 
+def _cmd_pifo(args) -> None:
+    """Three-way validation of programmable PIFO rank functions.
+
+    Runs :func:`repro.core.differential.validate_rank_function` for the
+    selected (or every registered) rank function: reference vs batch vs
+    tensor byte-identical summaries, plus service-order equivalence
+    against the handwritten counterpart where one is declared.
+    """
+    import json
+
+    from repro.core.differential import validate_rank_function
+    from repro.disciplines.pifo import PIFO_RANK_FUNCTIONS, rank_function
+
+    if args.discipline is None:
+        names = sorted(PIFO_RANK_FUNCTIONS)
+    else:
+        if not args.discipline.startswith("pifo:"):
+            raise SystemExit(
+                f"--discipline takes pifo:<name>; got {args.discipline!r}"
+            )
+        names = [args.discipline[len("pifo:"):]]
+    count = args.frames if args.frames is not None else 20
+    rows = []
+    summaries = {}
+    failed = False
+    for name in names:
+        fn = rank_function(name)
+        result = validate_rank_function(
+            fn, seeds=range(count), n_cycles=args.cycles
+        )
+        summaries[f"pifo:{name}"] = result.summary()
+        rows.append(
+            [
+                f"pifo:{name}",
+                fn.rank.describe(),
+                fn.equivalent_to or "-",
+                str(result.scenarios),
+                str(result.services),
+                "pass" if result.passed else "FAIL",
+            ]
+        )
+        for divergence in result.divergences:
+            print(f"DIVERGENCE {divergence}")
+        failed = failed or not result.passed
+    print(
+        render_table(
+            ["discipline", "rank", "equivalent to", "scenarios", "services", "3-way"],
+            rows,
+            title=f"PIFO rank functions ({count} scenarios each, "
+            f"{args.cycles} cycles; reference == batch == tensor)",
+        )
+    )
+    if args.summary_json:
+        payload = {
+            "format": 1,
+            "kind": "pifo-validation",
+            "results": summaries,
+        }
+        with open(args.summary_json, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        print(f"summary written to {args.summary_json}")
+    if failed:
+        raise SystemExit(1)
+
+
 #: Experiments whose drivers accept the telemetry hook.
 _OBSERVABLE = {"table3", "figure8", "figure9", "figure10", "isolation", "monitor"}
 
@@ -486,6 +551,7 @@ _COMMANDS = {
     "figure9": _cmd_figure9,
     "figure10": _cmd_figure10,
     "comparison": _cmd_comparison,
+    "pifo": _cmd_pifo,
     "ablation-sort": _cmd_ablation_sort,
     "ablation-transfers": _cmd_ablation_transfers,
     "ablation-extensions": _cmd_ablation_extensions,
@@ -514,6 +580,19 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=4,
         help="stream-slot count (verilog generation)",
+    )
+    parser.add_argument(
+        "--discipline",
+        metavar="pifo:<name>",
+        default=None,
+        help="rank function for the pifo experiment (e.g. pifo:sfq); "
+        "default: validate every registered rank function",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=200,
+        help="arrival cycles per scenario (pifo experiment)",
     )
     parser.add_argument(
         "--engine",

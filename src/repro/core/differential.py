@@ -77,6 +77,8 @@ __all__ = [
     "validate_seed",
     "validate_bucket",
     "campaign",
+    "RankValidation",
+    "validate_rank_function",
 ]
 
 #: Disciplines the scenario generator samples (≥ 2 required by the
@@ -978,6 +980,187 @@ def campaign(
     result.cached = pool.cached
     result.executed = pool.executed
     result.workers = pool.workers
+    return result
+
+
+@dataclass
+class RankValidation:
+    """Outcome of a three-way rank-function validation campaign."""
+
+    name: str
+    scenarios: int = 0
+    n_cycles: int = 0
+    n_slots: int = 0
+    equivalent_to: str | None = None
+    services: int = 0
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> dict:
+        return {
+            "format": 1,
+            "kind": "rank-function-validation",
+            "discipline": f"pifo:{self.name}",
+            "scenarios": self.scenarios,
+            "n_cycles": self.n_cycles,
+            "n_slots": self.n_slots,
+            "equivalent_to": self.equivalent_to,
+            "services": self.services,
+            "passed": self.passed,
+            "divergences": list(self.divergences),
+        }
+
+    def summary_json(self) -> str:
+        return json.dumps(self.summary(), sort_keys=True, indent=1) + "\n"
+
+
+def _software_service_order(fn, scenario) -> list[tuple[int, int]]:
+    """Replay a PIFO workload through the handwritten counterpart.
+
+    Returns the ``(sid, seq)`` service order of
+    ``registry.create(fn.equivalent_to)`` under the same arrivals: one
+    batch of enqueues then at most one dequeue per cycle, followed by a
+    work-conserving drain — the exact regime the engine frontends run.
+    """
+    from repro.disciplines import registry
+    from repro.disciplines.base import Packet, SwStream
+
+    discipline = registry.create(fn.equivalent_to)
+    for stream in scenario.streams:
+        discipline.add_stream(
+            SwStream(
+                stream_id=stream.sid,
+                weight=stream.weight,
+                priority=stream.priority,
+            )
+        )
+    order: list[tuple[int, int]] = []
+    enqueued = 0
+    now = 0
+    for now, cycle in enumerate(scenario.arrivals):
+        for sid, seq, deadline, length in cycle:
+            discipline.enqueue(
+                Packet(
+                    stream_id=sid,
+                    seq=seq,
+                    arrival=seq,
+                    length=length,
+                    deadline=deadline,
+                )
+            )
+            enqueued += 1
+        packet = discipline.dequeue(now)
+        if packet is not None:
+            order.append((packet.stream_id, packet.seq))
+    now = scenario.n_cycles
+    while len(order) < enqueued:
+        packet = discipline.dequeue(now)
+        if packet is None:
+            raise AssertionError(
+                f"{discipline.name} stalled with backlog during drain"
+            )
+        order.append((packet.stream_id, packet.seq))
+        now += 1
+    return order
+
+
+def validate_rank_function(
+    fn,
+    seeds=range(20),
+    *,
+    n_cycles: int = 200,
+    n_slots: int = 8,
+    check_equivalent: bool = True,
+) -> RankValidation:
+    """Three-way cross-validation of one PIFO rank function.
+
+    For every seed the same workload
+    (:func:`repro.disciplines.pifo.generate_pifo_scenario`) runs
+    through the interpreted reference frontend, the vectorized batch
+    frontend and one tensorized campaign covering *all* the seeds at
+    once; the canonical run summaries must be byte-identical across
+    the three.  When the rank function declares ``equivalent_to``, the
+    handwritten discipline replays the same arrivals and its service
+    order must match packet-for-packet.
+
+    ``fn`` is a :class:`~repro.disciplines.pifo.RankFunction` or a
+    registered name.  This is the public entry point any user-defined
+    rank function gets for free::
+
+        from repro.core.differential import validate_rank_function
+        result = validate_rank_function(my_rank_fn)
+        assert result.passed, "\\n".join(result.divergences)
+    """
+    from repro.disciplines.pifo import (
+        generate_pifo_scenario,
+        rank_function,
+        run_pifo,
+        run_pifo_bucket,
+    )
+
+    if isinstance(fn, str):
+        fn = rank_function(fn.removeprefix("pifo:"))
+    seeds = list(seeds)
+    scenarios = [
+        generate_pifo_scenario(seed, n_slots=n_slots, n_cycles=n_cycles)
+        for seed in seeds
+    ]
+    result = RankValidation(
+        name=fn.name,
+        scenarios=len(scenarios),
+        n_cycles=n_cycles,
+        n_slots=n_slots,
+        equivalent_to=fn.equivalent_to,
+    )
+    tensor_summaries = run_pifo_bucket(fn, scenarios)
+    for scenario, tensor_summary in zip(scenarios, tensor_summaries):
+        reference = run_pifo(fn, scenario, engine="reference")
+        batch = run_pifo(fn, scenario, engine="batch")
+        blobs = {
+            engine: json.dumps(summary, sort_keys=True, indent=1) + "\n"
+            for engine, summary in (
+                ("reference", reference),
+                ("batch", batch),
+                ("tensor", tensor_summary),
+            )
+        }
+        if len(set(blobs.values())) != 1:
+            pairs = [
+                f"{a} != {b}"
+                for a, b in (("reference", "batch"), ("reference", "tensor"))
+                if blobs[a] != blobs[b]
+            ]
+            result.divergences.append(
+                f"pifo:{fn.name} seed={scenario.seed}: "
+                f"engine summaries differ ({', '.join(pairs)})"
+            )
+            continue
+        result.services += len(reference["services"])
+        if check_equivalent and fn.equivalent_to is not None:
+            engine_order = [
+                (sid, seq) for _t, sid, seq, _rank in reference["services"]
+            ]
+            software_order = _software_service_order(fn, scenario)
+            if engine_order != software_order:
+                first = next(
+                    (
+                        i
+                        for i, (a, b) in enumerate(
+                            zip(engine_order, software_order)
+                        )
+                        if a != b
+                    ),
+                    min(len(engine_order), len(software_order)),
+                )
+                result.divergences.append(
+                    f"pifo:{fn.name} seed={scenario.seed}: diverges from "
+                    f"handwritten {fn.equivalent_to!r} at service {first} "
+                    f"(engine={engine_order[first:first + 3]} "
+                    f"software={software_order[first:first + 3]})"
+                )
     return result
 
 

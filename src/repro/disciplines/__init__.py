@@ -15,6 +15,16 @@ from repro.disciplines.edf import EDF
 from repro.disciplines.fair_queuing import SFQ, WFQ
 from repro.disciplines.fcfs import FCFS
 from repro.disciplines.hfsc import ClassNode, HierarchicalFairShare
+from repro.disciplines.pifo import (
+    PIFO_RANK_FUNCTIONS,
+    PifoDiscipline,
+    RankFunction,
+    attr,
+    emax,
+    emin,
+    rank_function,
+    register_rank_function,
+)
 from repro.disciplines.registry import DISCIPLINES, FAMILY_INFO, create, info_for
 from repro.disciplines.static_priority import StaticPriority
 
@@ -33,14 +43,22 @@ __all__ = [
     "FCFS",
     "LATE",
     "ON_TIME",
+    "PIFO_RANK_FUNCTIONS",
     "Packet",
     "PacketOutcome",
+    "PifoDiscipline",
+    "RankFunction",
     "SFQ",
     "StaticPriority",
     "StreamAudit",
     "SwStream",
     "WFQ",
     "WindowState",
+    "attr",
     "create",
+    "emax",
+    "emin",
     "info_for",
+    "rank_function",
+    "register_rank_function",
 ]

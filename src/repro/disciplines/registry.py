@@ -62,6 +62,19 @@ FAMILY_INFO: dict[str, DisciplineInfo] = {
     ),
 }
 
+#: Classification of the programmable rank-function layer: like the
+#: fair-queuing row, service tags are computed per packet, but the tag
+#: expression itself is user-programmable (arXiv:1602.06045).
+FAMILY_INFO["programmable"] = DisciplineInfo(
+    name="Programmable PIFO (rank functions)",
+    family="programmable",
+    priority="Stream-level dynamic",
+    grain="Packet-level fixed",
+    input_queue="Priority Queue",
+    service_tag_computation="rank expression at enqueue",
+    concurrency="Multiple decisions can be pipelined",
+)
+
 #: Which family each implemented discipline belongs to.
 _FAMILY_OF = {
     "fcfs": "priority-class",
@@ -76,7 +89,17 @@ _FAMILY_OF = {
 
 
 def create(name: str, **kwargs) -> Discipline:
-    """Instantiate a discipline by registry name."""
+    """Instantiate a discipline by registry name.
+
+    Names of the form ``pifo:<rank-function>`` instantiate a software
+    PIFO (:class:`repro.disciplines.pifo.PifoDiscipline`) driven by the
+    named rank function from
+    :data:`repro.disciplines.pifo.PIFO_RANK_FUNCTIONS`.
+    """
+    if name.startswith("pifo:"):
+        from repro.disciplines.pifo import PifoDiscipline, rank_function
+
+        return PifoDiscipline(rank_function(name[len("pifo:"):]), **kwargs)
     try:
         cls = DISCIPLINES[name]
     except KeyError:
@@ -88,4 +111,6 @@ def create(name: str, **kwargs) -> Discipline:
 
 def info_for(name: str) -> DisciplineInfo:
     """Table 1 family classification for an implemented discipline."""
+    if name.startswith("pifo:"):
+        return FAMILY_INFO["programmable"]
     return FAMILY_INFO[_FAMILY_OF[name]]

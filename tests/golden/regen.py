@@ -31,6 +31,11 @@ Vector files
     events) of a shortened DWCS run with drop-late enabled, plus its
     canonical JSONL serialization — pins the telemetry event schema,
     flattening order and byte-level encoding.
+``pifo_vectors.json``
+    Canonical run summaries of every registered programmable PIFO rank
+    function (``repro.disciplines.pifo``) on seeded workloads — the
+    replay test reruns them on all three engines, so rank compilation
+    is pinned exactly like the handwritten disciplines.
 """
 
 from __future__ import annotations
@@ -364,6 +369,51 @@ def build_decision_trace(n_cycles: int = DECISION_TRACE_CYCLES) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# programmable PIFO rank-function traces
+# ---------------------------------------------------------------------------
+
+PIFO_CYCLES = 64
+PIFO_SEEDS = (3, 11)
+
+
+def build_pifo_vectors(
+    n_cycles: int = PIFO_CYCLES, seeds: tuple[int, ...] = PIFO_SEEDS
+) -> dict:
+    """Reference-frontend run summaries for every registered rank function.
+
+    Pins each rank-expressed discipline's full service order exactly
+    like the handwritten disciplines' traces above; the replay test
+    reruns the batch and tensor frontends against the committed
+    summaries, so PIFO compilation cannot drift on any engine.
+    """
+    from repro.disciplines.pifo import (
+        PIFO_RANK_FUNCTIONS,
+        generate_pifo_scenario,
+        run_pifo,
+    )
+
+    disciplines = {}
+    for name, fn in sorted(PIFO_RANK_FUNCTIONS.items()):
+        runs = []
+        for seed in seeds:
+            scenario = generate_pifo_scenario(seed, n_cycles=n_cycles)
+            runs.append(run_pifo(fn, scenario, engine="reference"))
+        disciplines[name] = {
+            "rank": fn.rank.describe(),
+            "vclock": fn.vclock,
+            "equivalent_to": fn.equivalent_to,
+            "runs": runs,
+        }
+    return {
+        "format_version": FORMAT_VERSION,
+        "description": "programmable PIFO rank-function conformance vectors",
+        "n_cycles": n_cycles,
+        "seeds": list(seeds),
+        "disciplines": disciplines,
+    }
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -372,6 +422,7 @@ VECTORS = {
     "table3_vectors.json": build_table3_vectors,
     "dwcs_trace.json": build_dwcs_trace,
     "decision_trace.json": build_decision_trace,
+    "pifo_vectors.json": build_pifo_vectors,
 }
 
 

@@ -1,0 +1,179 @@
+"""Shared Hypothesis strategies and scenario helpers for engine tests.
+
+One place for the generators that the differential, tensor-engine and
+PIFO property suites previously duplicated ad hoc:
+
+* seed-indexed :func:`repro.core.differential.generate_scenario`
+  workloads (and same-shape buckets of them),
+* randomized ideal-arithmetic ``(ArchConfig, [StreamConfig])`` pairs
+  for periodic runs,
+* PIFO rank-function workloads
+  (:func:`repro.disciplines.pifo.generate_pifo_scenario`),
+* the observable-extraction helpers the suites compare with.
+
+Everything is deterministic in the drawn integers, so a failing
+example is reproducible from the values Hypothesis prints.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.config import ArchConfig, BlockMode, Routing
+from repro.core.differential import bucket_key, generate_scenario
+from repro.disciplines.pifo import generate_pifo_scenario
+
+#: Scheduling modes the randomized configurations draw from.
+MODES = (
+    SchedulingMode.EDF,
+    SchedulingMode.DWCS,
+    SchedulingMode.FAIR_SHARE,
+    SchedulingMode.STATIC_PRIORITY,
+)
+
+#: The full 32-bit scenario seed space.
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def bucketed(scenarios):
+    """Group scenarios by their same-shape bucket key, first-seen order."""
+    buckets: dict[tuple, list] = {}
+    for scenario in scenarios:
+        buckets.setdefault(bucket_key(scenario), []).append(scenario)
+    return buckets
+
+
+def random_arch_streams(seed: int, n_slots: int):
+    """A randomized ideal-arithmetic configuration for periodic runs."""
+    rng = random.Random(seed)
+    arch = ArchConfig(
+        n_slots=n_slots,
+        routing=rng.choice((Routing.WR, Routing.BA)),
+        block_mode=rng.choice((BlockMode.MAX_FIRST, BlockMode.MIN_FIRST)),
+        schedule=rng.choice(("bitonic", "paper")),
+        wrap=False,
+    )
+    streams = []
+    for sid in range(n_slots):
+        mode = rng.choice(MODES)
+        if mode in (SchedulingMode.DWCS, SchedulingMode.FAIR_SHARE):
+            y = rng.randint(1, 4)
+            x = rng.randint(0, y)
+        else:
+            x = y = 0
+        streams.append(
+            StreamConfig(
+                sid=sid,
+                period=rng.randint(1, 5),
+                loss_numerator=x,
+                loss_denominator=y,
+                initial_deadline=rng.randint(0, 6),
+                mode=mode,
+            )
+        )
+    return arch, streams
+
+
+def periodic_observables(scheduler, result):
+    """Everything a periodic run exposes, as comparable plain data."""
+    counters = scheduler.counters()
+    return {
+        "wins": result.wins.tolist(),
+        "misses": result.misses.tolist(),
+        "serviced": result.serviced.tolist(),
+        "frames": result.frames_scheduled,
+        "winners": None if result.winners is None else result.winners.tolist(),
+        "counters": {
+            sid: (c.wins, c.serviced, c.missed_deadlines, c.violations,
+                  c.window_resets, c.loads)
+            for sid, c in counters.items()
+        },
+        "hw_cycle": scheduler.control.hw_cycle,
+        "decision_cycles": scheduler.control.decision_cycles,
+        # Residency intervals only — the free-form ``detail`` strings
+        # legitimately differ ("idle fast-forward" vs per-cycle text).
+        "timeline": [
+            (e.state, e.start_cycle, e.cycles)
+            for e in scheduler.control.timeline
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+
+def stream_configs(n_slots: int = 8):
+    """Strategy: one randomized :class:`StreamConfig` list of ``n_slots``."""
+    return st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda seed: random_arch_streams(seed, n_slots)[1]
+    )
+
+
+def arch_streams(n_slots=st.sampled_from([2, 4, 8])):
+    """Strategy: a randomized ``(ArchConfig, [StreamConfig])`` pair."""
+    return st.tuples(
+        st.integers(min_value=0, max_value=2**32 - 1), n_slots
+    ).map(lambda t: random_arch_streams(*t))
+
+
+def differential_scenarios(n_cycles: int = 1000, max_slots: int = 16):
+    """Strategy: one seeded differential scenario."""
+    return seeds.map(
+        lambda seed: generate_scenario(
+            seed, n_cycles=n_cycles, max_slots=max_slots
+        )
+    )
+
+
+def scenario_buckets(
+    n_cycles: int = 120,
+    max_slots: int = 16,
+    min_size: int = 2,
+    max_size: int = 6,
+):
+    """Strategy: one *same-shape* scenario bucket (>= ``min_size``).
+
+    Draws sibling seeds until enough scenarios share the first one's
+    bucket key — the contract under which the tensor engine batches.
+    """
+
+    def build(args):
+        base_seed, extra = args
+        base = generate_scenario(base_seed, n_cycles=n_cycles,
+                                 max_slots=max_slots)
+        key = bucket_key(base)
+        members = [base]
+        seed = base_seed
+        while len(members) < min_size + extra:
+            seed += 1
+            candidate = generate_scenario(seed, n_cycles=n_cycles,
+                                          max_slots=max_slots)
+            if bucket_key(candidate) == key:
+                members.append(candidate)
+        return members
+
+    return st.tuples(
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=0, max_value=max_size - min_size),
+    ).map(build)
+
+
+def arrival_patterns(n_cycles: int = 120, n_slots: int = 8):
+    """Strategy: a PIFO arrival pattern (the scenario's arrival table)."""
+    return pifo_scenarios(n_cycles=n_cycles, n_slots=n_slots).map(
+        lambda s: s.arrivals
+    )
+
+
+def pifo_scenarios(n_cycles: int = 120, n_slots: int = 8):
+    """Strategy: one seeded PIFO rank-function workload."""
+    return seeds.map(
+        lambda seed: generate_pifo_scenario(
+            seed, n_slots=n_slots, n_cycles=n_cycles
+        )
+    )

@@ -14,7 +14,6 @@ standalone with::
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.attributes import SchedulingMode
 from repro.core.config import BlockMode, Routing
@@ -25,6 +24,7 @@ from repro.core.differential import (
     generate_scenario,
     run_engine,
 )
+from tests.strategies import differential_scenarios
 
 
 def _assert_agrees(scenario):
@@ -81,12 +81,12 @@ class TestTraceEquivalence:
 
 
 class TestPropertyBased:
-    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @given(scenario=differential_scenarios(n_cycles=1000, max_slots=16))
     @settings(max_examples=25, deadline=None, print_blob=True)
-    def test_any_seed_agrees(self, seed):
+    def test_any_seed_agrees(self, scenario):
         """Any scenario drawn from the full seed space agrees over 1k
         cycles (hypothesis prints the falsifying seed on failure)."""
-        _assert_agrees(generate_scenario(seed, n_cycles=1000, max_slots=16))
+        _assert_agrees(scenario)
 
 
 class TestScenarioGenerator:

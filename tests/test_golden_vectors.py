@@ -94,6 +94,36 @@ class TestTable3Traces:
         assert res.serviced.tolist() == vec["serviced"]
 
 
+class TestPifoVectors:
+    """Committed PIFO rank-function summaries replay on every engine."""
+
+    @pytest.mark.parametrize(
+        "engine", ["reference", "batch", "tensor"]
+    )
+    def test_all_rank_functions_match(self, engine):
+        from repro.disciplines.pifo import generate_pifo_scenario, run_pifo
+
+        data = _load("pifo_vectors.json")
+        for name, vec in data["disciplines"].items():
+            for seed, expected in zip(data["seeds"], vec["runs"]):
+                scenario = generate_pifo_scenario(
+                    seed, n_cycles=data["n_cycles"]
+                )
+                got = run_pifo(name, scenario, engine=engine)
+                assert got == expected, f"pifo:{name} seed={seed} ({engine})"
+
+    def test_metadata_matches_registry(self):
+        from repro.disciplines.pifo import PIFO_RANK_FUNCTIONS
+
+        data = _load("pifo_vectors.json")
+        assert sorted(data["disciplines"]) == sorted(PIFO_RANK_FUNCTIONS)
+        for name, vec in data["disciplines"].items():
+            fn = PIFO_RANK_FUNCTIONS[name]
+            assert vec["rank"] == fn.rank.describe()
+            assert vec["vclock"] == fn.vclock
+            assert vec["equivalent_to"] == fn.equivalent_to
+
+
 class TestDWCSTrace:
     def _replay(self, scheduler, data):
         for expected in data["cycles"]:

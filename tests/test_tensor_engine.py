@@ -26,11 +26,9 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.attributes import SchedulingMode, StreamConfig
 from repro.core.batch_engine import BatchScheduler, build_bitonic_passes
-from repro.core.config import ArchConfig, BlockMode, Routing
+from repro.core.config import BlockMode, Routing
 from repro.core.differential import (
-    bucket_key,
     campaign,
     cross_validate,
     cross_validate_bucket,
@@ -39,82 +37,11 @@ from repro.core.differential import (
     run_engine,
 )
 from repro.core.tensor_engine import CampaignEngine, TensorScheduler
-
-# ----------------------------------------------------------------------
-# helpers
-
-
-def _bucketed(scenarios):
-    """Group scenarios by their same-shape bucket key, first-seen order."""
-    buckets: dict[tuple, list] = {}
-    for scenario in scenarios:
-        buckets.setdefault(bucket_key(scenario), []).append(scenario)
-    return buckets
-
-
-_MODES = (
-    SchedulingMode.EDF,
-    SchedulingMode.DWCS,
-    SchedulingMode.FAIR_SHARE,
-    SchedulingMode.STATIC_PRIORITY,
+from tests.strategies import (
+    bucketed as _bucketed,
+    periodic_observables as _periodic_observables,
+    random_arch_streams as _random_arch_streams,
 )
-
-
-def _random_arch_streams(seed: int, n_slots: int):
-    """A randomized ideal-arithmetic configuration for periodic runs."""
-    rng = random.Random(seed)
-    arch = ArchConfig(
-        n_slots=n_slots,
-        routing=rng.choice((Routing.WR, Routing.BA)),
-        block_mode=rng.choice((BlockMode.MAX_FIRST, BlockMode.MIN_FIRST)),
-        schedule=rng.choice(("bitonic", "paper")),
-        wrap=False,
-    )
-    streams = []
-    for sid in range(n_slots):
-        mode = rng.choice(_MODES)
-        if mode in (SchedulingMode.DWCS, SchedulingMode.FAIR_SHARE):
-            y = rng.randint(1, 4)
-            x = rng.randint(0, y)
-        else:
-            x = y = 0
-        streams.append(
-            StreamConfig(
-                sid=sid,
-                period=rng.randint(1, 5),
-                loss_numerator=x,
-                loss_denominator=y,
-                initial_deadline=rng.randint(0, 6),
-                mode=mode,
-            )
-        )
-    return arch, streams
-
-
-def _periodic_observables(scheduler, result):
-    """Everything a periodic run exposes, as comparable plain data."""
-    counters = scheduler.counters()
-    return {
-        "wins": result.wins.tolist(),
-        "misses": result.misses.tolist(),
-        "serviced": result.serviced.tolist(),
-        "frames": result.frames_scheduled,
-        "winners": None if result.winners is None else result.winners.tolist(),
-        "counters": {
-            sid: (c.wins, c.serviced, c.missed_deadlines, c.violations,
-                  c.window_resets, c.loads)
-            for sid, c in counters.items()
-        },
-        "hw_cycle": scheduler.control.hw_cycle,
-        "decision_cycles": scheduler.control.decision_cycles,
-        # Residency intervals only — the free-form ``detail`` strings
-        # legitimately differ ("idle fast-forward" vs per-cycle text).
-        "timeline": [
-            (e.state, e.start_cycle, e.cycles)
-            for e in scheduler.control.timeline
-        ],
-    }
-
 
 # ----------------------------------------------------------------------
 
