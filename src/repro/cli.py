@@ -531,8 +531,122 @@ def _cmd_pifo(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_aggregation(args) -> None:
+    """Million-stream hierarchical aggregation tier (demo or validation).
+
+    Default mode replays a seeded churn workload — ``--streams``
+    lightweight streams hash-bucketed into ``--aggregate`` slots, with
+    intra-aggregate ordering by ``--agg-discipline`` — on the selected
+    engine and tabulates the per-aggregate rollups.  ``--validate``
+    instead runs :func:`repro.core.differential.validate_aggregation`:
+    reference vs batch vs tensor byte-identical summaries over
+    ``--frames`` seeded churn scenarios.
+    """
+    import json
+
+    from repro.aggregation import (
+        generate_aggregation_scenario,
+        hash_bucket,
+        run_aggregation,
+    )
+
+    if args.aggregate < 2 or args.aggregate & (args.aggregate - 1):
+        raise SystemExit("--aggregate must be a power of two >= 2")
+    if args.validate:
+        from repro.core.differential import validate_aggregation
+
+        count = args.frames if args.frames is not None else 10
+        result = validate_aggregation(
+            seeds=range(count),
+            n_streams=args.streams or 48,
+            n_aggregates=args.aggregate,
+            n_cycles=args.cycles,
+            discipline=args.agg_discipline,
+        )
+        for divergence in result.divergences:
+            print(f"DIVERGENCE {divergence}")
+        print(
+            render_table(
+                ["discipline", "aggregates", "scenarios", "streams", "services", "3-way"],
+                [
+                    [
+                        result.discipline,
+                        str(result.n_aggregates),
+                        str(result.scenarios),
+                        str(result.streams),
+                        str(result.services),
+                        "pass" if result.passed else "FAIL",
+                    ]
+                ],
+                title=f"Aggregation tier ({count} churn scenarios, "
+                f"{args.cycles} cycles; reference == batch == tensor)",
+            )
+        )
+        if args.summary_json:
+            with open(args.summary_json, "w", encoding="utf-8") as fh:
+                fh.write(result.summary_json())
+            print(f"summary written to {args.summary_json}")
+        if not result.passed:
+            raise SystemExit(1)
+        return
+    scenario = generate_aggregation_scenario(
+        0,
+        n_streams=args.streams or 10_000,
+        n_aggregates=args.aggregate,
+        n_cycles=args.cycles,
+        discipline=args.agg_discipline,
+    )
+    obs = args.observability
+    if obs is not None and obs.monitor is not None:
+        # Per-aggregate share bands from the initial membership: each
+        # aggregate's expected service share is its member-weight sum
+        # (stream ids at the engine level are aggregate ids).
+        from repro.observability import ConformanceMonitor, slos_from_shares
+
+        weights: dict[int, int] = {}
+        for sid, weight in scenario.initial:
+            bucket = hash_bucket(sid, args.aggregate)
+            weights[bucket] = weights.get(bucket, 0) + weight
+        obs.monitor = ConformanceMonitor(
+            slos_from_shares({a: float(w) for a, w in weights.items()}),
+            window_cycles=args.slo_window,
+            registry=obs.metrics,
+            dump_dir=args.flight_recorder,
+        )
+    summary = run_aggregation(scenario, engine=args.engine, observer=obs)
+    per = summary["per_aggregate"]
+    print(
+        render_table(
+            ["aggregate", "members", "weight", "enqueued", "serviced"],
+            [
+                [
+                    str(a),
+                    str(per["members"][a]),
+                    str(per["weight"][a]),
+                    str(per["enqueued"][a]),
+                    str(per["serviced"][a]),
+                ]
+                for a in range(args.aggregate)
+            ],
+            title=f"Aggregation tier: {summary['streams_joined']} streams "
+            f"({summary['streams_left']} left) on {args.aggregate} "
+            f"aggregates, {args.agg_discipline} intra, "
+            f"{summary['serviced']} serviced in {summary['cycles']} cycles "
+            f"[{args.engine}]",
+        )
+    )
+    print(f"service digest: {summary['service_digest']}")
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(summary, sort_keys=True, indent=1) + "\n")
+        print(f"summary written to {args.summary_json}")
+
+
 #: Experiments whose drivers accept the telemetry hook.
-_OBSERVABLE = {"table3", "figure8", "figure9", "figure10", "isolation", "monitor"}
+_OBSERVABLE = {
+    "table3", "figure8", "figure9", "figure10", "isolation", "monitor",
+    "aggregation",
+}
 
 #: Experiments ``--sweep`` can iterate (see repro.experiments.sweeps).
 _SWEEPABLE = {"figure8", "figure9", "figure10", "isolation"}
@@ -552,6 +666,7 @@ _COMMANDS = {
     "figure10": _cmd_figure10,
     "comparison": _cmd_comparison,
     "pifo": _cmd_pifo,
+    "aggregation": _cmd_aggregation,
     "ablation-sort": _cmd_ablation_sort,
     "ablation-transfers": _cmd_ablation_transfers,
     "ablation-extensions": _cmd_ablation_extensions,
@@ -593,6 +708,35 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=200,
         help="arrival cycles per scenario (pifo experiment)",
+    )
+    parser.add_argument(
+        "--aggregate",
+        type=int,
+        metavar="N",
+        default=16,
+        help="aggregate count for the aggregation experiment (one "
+        "scheduler slot per aggregate; power of two)",
+    )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        metavar="N",
+        default=None,
+        help="stream population for the aggregation experiment "
+        "(default: 10000 for the demo run, 48 per --validate scenario)",
+    )
+    parser.add_argument(
+        "--agg-discipline",
+        metavar="pifo:<name>",
+        default="pifo:sfq",
+        help="intra-aggregate ordering discipline for the aggregation "
+        "experiment (any registered rank function; default pifo:sfq)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="aggregation experiment: run the three-way differential "
+        "validation campaign instead of the demo workload",
     )
     parser.add_argument(
         "--engine",

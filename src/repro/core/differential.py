@@ -1164,6 +1164,141 @@ def validate_rank_function(
     return result
 
 
+# ----------------------------------------------------------------------
+# aggregation-tier validation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AggregationValidation:
+    """Outcome of a three-way aggregation-tier validation campaign."""
+
+    discipline: str
+    n_aggregates: int = 0
+    scenarios: int = 0
+    n_cycles: int = 0
+    streams: int = 0
+    services: int = 0
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> dict:
+        return {
+            "format": 1,
+            "kind": "aggregation-validation",
+            "discipline": self.discipline,
+            "n_aggregates": self.n_aggregates,
+            "scenarios": self.scenarios,
+            "n_cycles": self.n_cycles,
+            "streams": self.streams,
+            "services": self.services,
+            "passed": self.passed,
+            "divergences": list(self.divergences),
+        }
+
+    def summary_json(self) -> str:
+        return json.dumps(self.summary(), sort_keys=True, indent=1) + "\n"
+
+
+def validate_aggregation(
+    seeds=range(10),
+    *,
+    n_streams: int = 48,
+    n_aggregates: int = 8,
+    n_cycles: int = 160,
+    discipline: str = "pifo:sfq",
+    salt: int = 0,
+    cache=None,
+) -> AggregationValidation:
+    """Three-way cross-validation of the hierarchical aggregation tier.
+
+    Every seed derives one churn workload
+    (:func:`repro.aggregation.generate_aggregation_scenario` — stream
+    joins/leaves interleaved with arrivals) and replays it through the
+    standalone tier on the reference and batch engines plus one
+    tensorized campaign covering *all* the seeds at once
+    (:func:`repro.aggregation.run_aggregation_bucket`); the canonical
+    summaries — membership rollups, per-aggregate service counts, the
+    sha256 digest of the full service event stream — must be
+    byte-identical across the three.
+
+    ``cache`` is an optional :class:`repro.runner.ResultCache`;
+    already-validated scenarios are keyed on the *aggregate topology*
+    (scenario payload includes ``n_aggregates``/``salt``/``discipline``,
+    namespace ``"aggregation"``) so cached non-aggregated campaign
+    entries can never satisfy aggregated lookups.
+    """
+    from repro.aggregation import (
+        generate_aggregation_scenario,
+        run_aggregation,
+        run_aggregation_bucket,
+    )
+
+    seeds = list(seeds)
+    scenarios = [
+        generate_aggregation_scenario(
+            seed,
+            n_streams=n_streams,
+            n_aggregates=n_aggregates,
+            n_cycles=n_cycles,
+            discipline=discipline,
+            salt=salt,
+        )
+        for seed in seeds
+    ]
+    result = AggregationValidation(
+        discipline=discipline,
+        n_aggregates=n_aggregates,
+        scenarios=len(scenarios),
+        n_cycles=n_cycles,
+    )
+    cached: dict[int, dict] = {}
+    if cache is not None:
+        for scenario in scenarios:
+            hit, value = cache.get(cache.key(scenario.cache_payload()))
+            if hit:
+                cached[scenario.seed] = value
+    live = [sc for sc in scenarios if sc.seed not in cached]
+    tensor_by_seed = dict(cached)
+    if live:
+        for sc, summary in zip(live, run_aggregation_bucket(live)):
+            tensor_by_seed[sc.seed] = summary
+    for scenario in scenarios:
+        tensor_summary = tensor_by_seed[scenario.seed]
+        reference = run_aggregation(scenario, engine="reference")
+        batch = run_aggregation(scenario, engine="batch")
+        blobs = {
+            engine: json.dumps(summary, sort_keys=True, indent=1) + "\n"
+            for engine, summary in (
+                ("reference", reference),
+                ("batch", batch),
+                ("tensor", tensor_summary),
+            )
+        }
+        if len(set(blobs.values())) != 1:
+            pairs = [
+                f"{a} != {b}"
+                for a, b in (("reference", "batch"), ("reference", "tensor"))
+                if blobs[a] != blobs[b]
+            ]
+            result.divergences.append(
+                f"aggregation seed={scenario.seed} "
+                f"({discipline}, {n_aggregates} aggregates): "
+                f"engine summaries differ ({', '.join(pairs)})"
+            )
+            continue
+        result.streams += reference["streams_joined"]
+        result.services += reference["serviced"]
+        if cache is not None and scenario.seed not in cached:
+            cache.put(
+                cache.key(scenario.cache_payload()), tensor_summary
+            )
+    return result
+
+
 def main(argv=None) -> int:  # pragma: no cover - CLI convenience
     import argparse
     import time

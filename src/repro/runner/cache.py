@@ -43,7 +43,12 @@ __all__ = ["CACHE_SCHEMA", "CacheStats", "ResultCache"]
 #: 2: tensor-engine campaign paths landed; pre-tensor entries (which
 #: predate the per-engine key payloads) are invalidated wholesale so
 #: batch- and tensor-path results can never be conflated.
-CACHE_SCHEMA = 2
+#: 3: aggregation-tier runs landed; keys must carry the aggregate
+#: topology (aggregate count, bucketing salt, intra discipline), so
+#: every pre-aggregation entry — which lacks those payload fields — is
+#: invalidated wholesale and a cached non-aggregated campaign result
+#: can never satisfy an aggregated lookup.
+CACHE_SCHEMA = 3
 
 
 def _package_version() -> str:

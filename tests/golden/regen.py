@@ -36,6 +36,13 @@ Vector files
     function (``repro.disciplines.pifo``) on seeded workloads — the
     replay test reruns them on all three engines, so rank compilation
     is pinned exactly like the handwritten disciplines.
+``aggregation_vectors.json``
+    The hierarchical aggregation tier (``repro.aggregation``) on a
+    fixed 10k-stream / 16-aggregate scenario with scripted churn
+    (seeded joins/leaves interleaved with arrivals): the canonical run
+    summary, including the sha256 digest of the full service stream —
+    replayed on all three engines, so a refactor of the hash-bucketing
+    or the fair-tag arithmetic cannot silently shift emissions.
 """
 
 from __future__ import annotations
@@ -414,6 +421,54 @@ def build_pifo_vectors(
 
 
 # ---------------------------------------------------------------------------
+# hierarchical aggregation-tier trace
+# ---------------------------------------------------------------------------
+
+AGGREGATION_SEED = 17
+AGGREGATION_STREAMS = 10_000
+AGGREGATION_AGGREGATES = 16
+AGGREGATION_CYCLES = 240
+#: Scripted-churn shape: high join/leave rates so the fixed scenario
+#: exercises leaves of backlogged streams and weight rebalancing.
+AGGREGATION_CHURN = {"max_arrivals": 6, "join_rate": 0.4, "leave_rate": 0.35}
+
+
+def aggregation_scenario():
+    """The fixed 10k-stream / 16-aggregate scripted-churn workload."""
+    from repro.aggregation import generate_aggregation_scenario
+
+    return generate_aggregation_scenario(
+        AGGREGATION_SEED,
+        n_streams=AGGREGATION_STREAMS,
+        n_aggregates=AGGREGATION_AGGREGATES,
+        n_cycles=AGGREGATION_CYCLES,
+        **AGGREGATION_CHURN,
+    )
+
+
+def build_aggregation_vectors() -> dict:
+    """Reference-engine canonical summary of the churn workload.
+
+    The summary's ``service_digest`` covers every service event, so
+    the committed vector pins the full emission order at 10k-stream
+    scale without storing it; the replay test reruns the scenario on
+    all three engines against the same digest.
+    """
+    from repro.aggregation import run_aggregation
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "description": "hierarchical aggregation-tier conformance vector",
+        "seed": AGGREGATION_SEED,
+        "n_streams": AGGREGATION_STREAMS,
+        "n_aggregates": AGGREGATION_AGGREGATES,
+        "n_cycles": AGGREGATION_CYCLES,
+        "churn": dict(AGGREGATION_CHURN),
+        "summary": run_aggregation(aggregation_scenario(), engine="reference"),
+    }
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -423,6 +478,7 @@ VECTORS = {
     "dwcs_trace.json": build_dwcs_trace,
     "decision_trace.json": build_decision_trace,
     "pifo_vectors.json": build_pifo_vectors,
+    "aggregation_vectors.json": build_aggregation_vectors,
 }
 
 

@@ -177,3 +177,113 @@ def pifo_scenarios(n_cycles: int = 120, n_slots: int = 8):
             seed, n_slots=n_slots, n_cycles=n_cycles
         )
     )
+
+
+def aggregation_scenarios(
+    n_cycles: int = 100,
+    n_streams=st.integers(min_value=4, max_value=64),
+    n_aggregates=st.sampled_from([2, 4, 8, 16]),
+    discipline=st.sampled_from(["pifo:sfq", "pifo:fcfs", "pifo:edf", "pifo:prio"]),
+    join_rate: float = 0.3,
+    leave_rate: float = 0.25,
+):
+    """Strategy: one seeded aggregation-tier churn workload.
+
+    Varies the stream population, aggregate count and intra-aggregate
+    discipline alongside the seed, with churn rates high enough that
+    join/leave interleavings (including leaves of streams with queued
+    packets) appear in nearly every drawn example.
+    """
+    from repro.aggregation import generate_aggregation_scenario
+
+    return st.tuples(seeds, n_streams, n_aggregates, discipline).map(
+        lambda t: generate_aggregation_scenario(
+            t[0],
+            n_streams=t[1],
+            n_aggregates=t[2],
+            n_cycles=n_cycles,
+            discipline=t[3],
+            join_rate=join_rate,
+            leave_rate=leave_rate,
+        )
+    )
+
+
+def aggregation_buckets(
+    n_cycles: int = 80,
+    min_size: int = 2,
+    max_size: int = 5,
+):
+    """Strategy: a same-shape bucket of aggregation churn scenarios.
+
+    All members share ``(n_aggregates, discipline, salt)`` — the
+    contract under which :func:`repro.aggregation.run_aggregation_bucket`
+    batches rows onto one tensorized campaign — while seeds (and hence
+    populations, churn interleavings and arrivals) differ.
+    """
+    from repro.aggregation import generate_aggregation_scenario
+
+    def build(args):
+        base_seed, size, n_aggregates, discipline = args
+        return [
+            generate_aggregation_scenario(
+                base_seed + i,
+                n_streams=8 + ((base_seed + i) % 24),
+                n_aggregates=n_aggregates,
+                n_cycles=n_cycles,
+                discipline=discipline,
+                join_rate=0.3,
+                leave_rate=0.25,
+            )
+            for i in range(size)
+        ]
+
+    return st.tuples(
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=min_size, max_value=max_size),
+        st.sampled_from([2, 4, 8]),
+        st.sampled_from(["pifo:sfq", "pifo:edf"]),
+    ).map(build)
+
+
+def membership_interleavings(
+    n_streams: int = 24,
+    n_ops: int = 60,
+):
+    """Strategy: a raw join/leave interleaving over a small sid space.
+
+    Emits an operation list ``[("join", sid, weight) | ("leave", sid)]``
+    that is always *legal* (never joins a member twice, never removes a
+    non-member) but otherwise arbitrary — the direct input for churn
+    invariant tests that drive :class:`repro.aggregation.AggregationTier`
+    membership without a full scenario around it.
+    """
+
+    def build(args):
+        seed, n = args
+        rng = random.Random(seed)
+        ops = []
+        members: list[int] = []
+        next_sid = 0
+        for _ in range(n):
+            # Joins mint fresh sids (a departed stream never rejoins
+            # under the same id — strict-membership semantics), capped
+            # at n_streams concurrent members.
+            do_join = not members or (
+                len(members) < n_streams and rng.random() < 0.55
+            )
+            if do_join:
+                ops.append(
+                    ("join", next_sid, rng.choice((1, 2, 3, 4, 5, 6)))
+                )
+                members.append(next_sid)
+                next_sid += 1
+            else:
+                idx = rng.randrange(len(members))
+                members[idx], members[-1] = members[-1], members[idx]
+                ops.append(("leave", members.pop()))
+        return ops
+
+    return st.tuples(
+        seeds, st.integers(min_value=1, max_value=n_ops)
+    ).map(build)

@@ -124,6 +124,35 @@ class TestPifoVectors:
             assert vec["equivalent_to"] == fn.equivalent_to
 
 
+class TestAggregationVectors:
+    """The committed 10k-stream churn summary replays on every engine."""
+
+    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    def test_standalone_engines_match(self, engine):
+        from repro.aggregation import run_aggregation
+
+        data = _load("aggregation_vectors.json")
+        got = run_aggregation(regen.aggregation_scenario(), engine=engine)
+        assert got == data["summary"], f"aggregation vector diverged ({engine})"
+
+    def test_tensor_campaign_matches(self):
+        from repro.aggregation import run_aggregation_bucket
+
+        data = _load("aggregation_vectors.json")
+        [got] = run_aggregation_bucket([regen.aggregation_scenario()])
+        assert got == data["summary"], "aggregation vector diverged (tensor)"
+
+    def test_scenario_shape_is_pinned(self):
+        data = _load("aggregation_vectors.json")
+        scenario = regen.aggregation_scenario()
+        assert data["n_streams"] == regen.AGGREGATION_STREAMS == 10_000
+        assert data["n_aggregates"] == regen.AGGREGATION_AGGREGATES == 16
+        assert scenario.total_streams >= 10_000
+        # Scripted churn actually happened in the committed workload.
+        assert data["summary"]["streams_left"] > 0
+        assert data["summary"]["enqueued"] == data["summary"]["serviced"]
+
+
 class TestDWCSTrace:
     def _replay(self, scheduler, data):
         for expected in data["cycles"]:
