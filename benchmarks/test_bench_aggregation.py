@@ -20,12 +20,12 @@ repo root (CI uploads the smoke-scale artifact).
 
 from __future__ import annotations
 
-import json
 import os
 import resource
 import time
 from pathlib import Path
 
+from _schema import bench_record, write_bench
 from repro.aggregation import AggregationTier
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_AGGREGATION.json"
@@ -120,15 +120,53 @@ def test_million_stream_tier(report):
         "churn_latency_small_us": churn_small * 1e6,
         "churn_latency_full_us": churn_full * 1e6,
         "churn_ratio": churn_ratio,
-        "churn_ratio_bound": CHURN_RATIO_BOUND,
         "submit_per_second": SERVICE_PACKETS / submit_seconds,
         "decisions_per_second": cycles / service_seconds,
         "packets_serviced": SERVICE_PACKETS,
         "rss_delta_mb": rss_delta / 1e6,
-        "rss_bound_mb": RSS_BOUND_MB,
         "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1e3,
     }
-    OUTPUT.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+    scale = {"streams": N_STREAMS, "aggregates": N_AGGREGATES}
+    write_bench(
+        OUTPUT,
+        "aggregation",
+        [
+            bench_record("streams", N_STREAMS),
+            bench_record("aggregates", N_AGGREGATES),
+            bench_record(
+                "join_per_second", results["join_per_second"], "ops/s",
+                direction="higher", **scale,
+            ),
+            bench_record(
+                "churn_latency_small_us", churn_small * 1e6, "us",
+                direction="lower", **scale,
+            ),
+            bench_record(
+                "churn_latency_full_us", churn_full * 1e6, "us",
+                direction="lower", **scale,
+            ),
+            bench_record(
+                "churn_ratio", churn_ratio, "ratio",
+                direction="lower", bound=CHURN_RATIO_BOUND, **scale,
+            ),
+            bench_record(
+                "submit_per_second", results["submit_per_second"], "ops/s",
+                direction="higher", **scale,
+            ),
+            bench_record(
+                "decisions_per_second", results["decisions_per_second"],
+                "ops/s", direction="higher", **scale,
+            ),
+            bench_record("packets_serviced", SERVICE_PACKETS),
+            bench_record(
+                "rss_delta_mb", results["rss_delta_mb"], "mb",
+                direction="lower", bound=RSS_BOUND_MB, **scale,
+            ),
+            bench_record("peak_rss_mb", results["peak_rss_mb"], "mb", **scale),
+        ],
+        workload=f"{N_STREAMS} streams / {N_AGGREGATES} aggregates, "
+        f"{CHURN_OPS} churn pairs, {SERVICE_PACKETS} serviced packets",
+    )
     report(
         f"Aggregation tier at {N_STREAMS:,} streams / {N_AGGREGATES} aggregates",
         "\n".join(

@@ -21,10 +21,10 @@ uploads it as an artifact).  The assert pins the acceptance bar:
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
+from _schema import bench_record, write_bench
 from repro.core.attributes import SchedulingMode, StreamConfig
 from repro.core.batch_engine import BatchScheduler
 from repro.core.config import ArchConfig, Routing
@@ -101,46 +101,56 @@ def _tensor_rate(s_count: int, n_slots: int) -> float:
 def test_campaign_engine_scaling(report):
     reference = {n: _reference_rate(n) for n in SLOT_COUNTS}
     rows = []
-    results = []
+    records = []
     speedups = {}
     for n in SLOT_COUNTS:
+        records.append(
+            bench_record(
+                "reference_ops", reference[n], "scenario-cycles/s",
+                slots=n, direction="higher",
+            )
+        )
         for s in SCENARIO_COUNTS:
             bat = _batch_rate(s, n)
             ten = _tensor_rate(s, n)
             speedups[(s, n)] = ten / bat
-            results.append(
-                {
-                    "scenarios": s,
-                    "slots": n,
-                    "reference_ops": reference[n],
-                    "batch_ops": bat,
-                    "tensor_ops": ten,
-                    "tensor_vs_batch": ten / bat,
-                }
+            point = {"scenarios": s, "slots": n}
+            records.extend(
+                [
+                    bench_record(
+                        "batch_ops", bat, "scenario-cycles/s",
+                        direction="higher", **point,
+                    ),
+                    bench_record(
+                        "tensor_ops", ten, "scenario-cycles/s",
+                        direction="higher", **point,
+                    ),
+                    bench_record(
+                        "tensor_vs_batch", ten / bat, "ratio",
+                        direction="higher", **point,
+                    ),
+                ]
             )
             rows.append(
                 f"S={s:>3} N={n:>3}: reference {reference[n]:>10,.0f} | "
                 f"batch {bat:>10,.0f} | tensor {ten:>10,.0f} "
                 f"scenario-cyc/s | {ten / bat:>6.1f}x"
             )
-    OUTPUT.write_text(
-        json.dumps(
-            {
-                "unit": "scenario-cycles per second",
-                "workload": "periodic EDF feed, one arrival per stream "
-                "per decision cycle",
-                "acceptance": {
-                    "tensor_vs_batch_at_s64": max(
-                        speedups[(64, n)] for n in SLOT_COUNTS
-                    ),
-                    "required": 5.0,
-                },
-                "results": results,
-            },
-            indent=1,
-            sort_keys=True,
+    records.append(
+        bench_record(
+            "tensor_vs_batch_at_s64",
+            max(speedups[(64, n)] for n in SLOT_COUNTS),
+            "ratio",
+            direction="higher",
+            required=5.0,
         )
-        + "\n"
+    )
+    write_bench(
+        OUTPUT,
+        "campaign",
+        records,
+        workload="periodic EDF feed, one arrival per stream per "
+        "decision cycle",
     )
     report("Campaign throughput: tensorized vs per-scenario", "\n".join(rows))
     # One engine instance amortizes the Python per-cycle loop across

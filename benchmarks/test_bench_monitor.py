@@ -15,10 +15,10 @@ it).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
+from _schema import bench_record, write_bench
 from repro.core.attributes import SchedulingMode, StreamConfig
 from repro.core.config import ArchConfig, Routing
 from repro.core.scheduler import ShareStreamsScheduler
@@ -106,26 +106,36 @@ def test_monitor_overhead_vs_bare_metrics(report):
 
     metrics_ratio = metrics / off
     monitor_ratio = monitor / metrics
-    payload = {
-        "cycles": CYCLES,
-        "n_slots": N_SLOTS,
-        "window_cycles": WINDOW,
-        "telemetry_off_us": off * 1e6,
-        "metrics_observer_us": metrics * 1e6,
-        "conformance_monitor_us": monitor * 1e6,
-        "metrics_vs_off_ratio": metrics_ratio,
-        "monitor_vs_metrics_ratio": monitor_ratio,
-        "spreads": {
-            "off": off_spread,
-            "metrics": metrics_spread,
-            "monitor": monitor_spread,
-        },
-        "overhead_bound": OVERHEAD_BOUND,
-    }
+    shape = {"cycles": CYCLES, "n_slots": N_SLOTS, "window_cycles": WINDOW}
     artifact = os.environ.get("MONITOR_BENCH_JSON")
     if artifact:
-        with open(artifact, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+        write_bench(
+            artifact,
+            "monitor",
+            [
+                bench_record(
+                    "telemetry_off_us", off * 1e6, "us",
+                    direction="lower", spread=off_spread, **shape,
+                ),
+                bench_record(
+                    "metrics_observer_us", metrics * 1e6, "us",
+                    direction="lower", spread=metrics_spread, **shape,
+                ),
+                bench_record(
+                    "conformance_monitor_us", monitor * 1e6, "us",
+                    direction="lower", spread=monitor_spread, **shape,
+                ),
+                bench_record(
+                    "metrics_vs_off_ratio", metrics_ratio, "ratio", **shape
+                ),
+                bench_record(
+                    "monitor_vs_metrics_ratio", monitor_ratio, "ratio",
+                    direction="lower", bound=OVERHEAD_BOUND, **shape,
+                ),
+            ],
+            workload="periodic EDF feed, 4 slots, interleaved "
+            "lower-envelope minima",
+        )
 
     report(
         "Conformance-monitoring overhead (periodic EDF feed, 4 slots)",

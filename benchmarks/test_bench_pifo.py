@@ -13,17 +13,23 @@ per-packet terms:
 The acceptance bar: the vectorized and tensorized evaluators must land
 within 2x of the handwritten per-packet tag computation (in practice
 they are far faster — one array expression ranks a whole slot vector).
+Machine-readable results land in ``BENCH_PIFO.json`` at the repo root
+(``benchmarks/_schema.py`` record format).
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import numpy as np
 
+from _schema import bench_record, write_bench
 from repro.disciplines.base import Packet, SwStream
 from repro.disciplines.fair_queuing import SFQ
 from repro.disciplines.pifo import PifoDiscipline, rank_function
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PIFO.json"
 
 _PACKETS = 4_000
 _EVAL_ROUNDS = 2_000
@@ -84,6 +90,36 @@ def test_rank_evaluators_within_2x_of_handwritten(report):
     interpreted = _discipline_rate(PifoDiscipline(fn))
     batch_eval = _evaluator_rate(fn.compile_batch(), (_N,))
     tensor_eval = _evaluator_rate(fn.compile_tensor(), (_S, _N))
+    write_bench(
+        OUTPUT,
+        "pifo",
+        [
+            bench_record(
+                "handwritten_sfq", handwritten, "pkt/s", direction="higher"
+            ),
+            bench_record(
+                "interpreted_pifo", interpreted, "pkt/s", direction="higher"
+            ),
+            bench_record(
+                "vectorized_eval", batch_eval, "rank/s",
+                direction="higher", slots=_N,
+            ),
+            bench_record(
+                "tensorized_eval", tensor_eval, "rank/s",
+                direction="higher", scenarios=_S, slots=_N,
+            ),
+            bench_record(
+                "vectorized_vs_handwritten", batch_eval / handwritten,
+                "ratio", direction="higher", bound=0.5,
+            ),
+            bench_record(
+                "tensorized_vs_handwritten", tensor_eval / handwritten,
+                "ratio", direction="higher", bound=0.5,
+            ),
+        ],
+        workload="pifo:sfq rank evaluation, 8-stream round trips, "
+        f"{_EVAL_ROUNDS} evaluator rounds",
+    )
     report(
         "PIFO rank evaluation vs handwritten SFQ (per packet/rank)",
         "\n".join(

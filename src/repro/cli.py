@@ -651,6 +651,253 @@ _OBSERVABLE = {
 #: Experiments ``--sweep`` can iterate (see repro.experiments.sweeps).
 _SWEEPABLE = {"figure8", "figure9", "figure10", "isolation"}
 
+def _trace_main(argv: list[str]) -> int:
+    """``repro trace``: span-traced campaign + rollup/critical-path report."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run a span-traced differential validation campaign "
+        "(or load a previously exported span file) and report the "
+        "per-(kind, name) rollup, optionally the critical path, and "
+        "export JSONL / Chrome trace-event files.",
+    )
+    parser.add_argument(
+        "--count", type=int, default=24,
+        help="scenario seeds in the campaign (default 24)",
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=200,
+        help="decision cycles per scenario (default 200)",
+    )
+    parser.add_argument(
+        "--engine", choices=("batch", "tensor"), default="tensor",
+        help="fast engine under validation (default tensor)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (0 = all cores; the canonical span tree "
+        "is byte-identical for any value)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="on-disk scenario cache (hits become spans tagged cache=hit)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (neither read nor write entries)",
+    )
+    parser.add_argument(
+        "--trace-id", default="campaign",
+        help="trace id seeding the deterministic span ids",
+    )
+    parser.add_argument(
+        "--input", metavar="SPANS.jsonl", default=None,
+        help="report on an exported span file instead of running",
+    )
+    parser.add_argument(
+        "--spans", metavar="PATH", default=None,
+        help="export the full span tree (timing included) as JSONL",
+    )
+    parser.add_argument(
+        "--canonical", metavar="PATH", default=None,
+        help="export the canonical worker-invariant span JSONL",
+    )
+    parser.add_argument(
+        "--export-chrome", metavar="PATH", default=None,
+        help="export a Chrome trace-event JSON (Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--critical-path", action="store_true",
+        help="print the longest root-to-leaf wall-time chain",
+    )
+    args = parser.parse_args(argv)
+
+    import json as _json
+    from pathlib import Path
+
+    from repro.observability.spans import (
+        SpanTracer,
+        canonical_span_bytes,
+        chrome_trace,
+        critical_path,
+        load_spans_jsonl,
+        spans_jsonl_bytes,
+        summarize_spans,
+    )
+
+    code = 0
+    if args.input is not None:
+        records = load_spans_jsonl(args.input)
+        trace_id = args.trace_id
+        print(f"loaded {len(records)} spans from {args.input}")
+    else:
+        from repro.core.differential import campaign
+
+        tracer = SpanTracer(args.trace_id)
+        result = campaign(
+            range(args.count),
+            n_cycles=args.cycles,
+            engine=args.engine,
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+            tracer=tracer,
+        )
+        records = tracer.records()
+        trace_id = tracer.trace_id
+        print(
+            f"campaign: {result.scenarios} scenarios x {args.cycles} cycles, "
+            f"engine={args.engine}, workers={result.workers}, "
+            f"cached={result.cached}, passed={result.passed}"
+        )
+        code = 0 if result.passed else 1
+
+    rows = []
+    for g in summarize_spans(records):
+        annotations = [
+            f"{k}={v}" for k, v in sorted(g["tag_totals"].items())
+        ] + [
+            f"{k} x{n}" for k, n in sorted(g["tag_counts"].items())
+        ]
+        rows.append(
+            [
+                g["kind"],
+                g["name"],
+                g["count"],
+                f"{g['wall_us'] / 1000.0:.3f}",
+                " ".join(annotations) or "-",
+            ]
+        )
+    print(
+        render_table(
+            ["kind", "name", "spans", "wall (ms)", "tags"],
+            rows,
+            title=f"span rollup ({len(records)} spans, trace_id={trace_id})",
+        )
+    )
+    if args.critical_path:
+        print(
+            render_table(
+                ["path", "kind", "wall (ms)", "self (ms)", "of root"],
+                [
+                    [
+                        e["path"],
+                        e["kind"],
+                        f"{e['wall_us'] / 1000.0:.3f}",
+                        f"{e['self_us'] / 1000.0:.3f}",
+                        f"{e['fraction']:.1%}",
+                    ]
+                    for e in critical_path(records)
+                ],
+                title="critical path (longest root-to-leaf chain)",
+            )
+        )
+    if args.spans:
+        Path(args.spans).write_bytes(spans_jsonl_bytes(records))
+        print(f"spans written to {args.spans}")
+    if args.canonical:
+        Path(args.canonical).write_bytes(canonical_span_bytes(records))
+        print(f"canonical spans written to {args.canonical}")
+    if args.export_chrome:
+        trace = chrome_trace(records, trace_id=trace_id)
+        Path(args.export_chrome).write_text(
+            _json.dumps(trace, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"chrome trace ({len(trace['traceEvents'])} events) written "
+            f"to {args.export_chrome}"
+        )
+    return code
+
+
+def _bench_main(argv: list[str]) -> int:
+    """``repro bench trend``: normalize BENCH_*.json into the trajectory."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark-artifact maintenance: normalize every "
+        "BENCH_*.json into the versioned record format and maintain "
+        "BENCH_TRAJECTORY.json for the CI regression gate.",
+    )
+    parser.add_argument(
+        "action", choices=("trend",),
+        help="trend: append a normalized snapshot of all BENCH_*.json "
+        "files to the trajectory (idempotent; identical consecutive "
+        "snapshots coalesce)",
+    )
+    parser.add_argument(
+        "--root", metavar="DIR", default=".",
+        help="directory scanned for BENCH_*.json files (default .)",
+    )
+    parser.add_argument(
+        "--trajectory", metavar="PATH", default=None,
+        help="trajectory file (default <root>/BENCH_TRAJECTORY.json)",
+    )
+    parser.add_argument(
+        "--label", default="",
+        help="label recorded on an appended snapshot (e.g. a git sha)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="only validate the existing trajectory file; append nothing",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="after appending, compare the last two snapshots and fail "
+        "on any out-of-tolerance regression",
+    )
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro import benchtrend
+
+    root = Path(args.root)
+    trajectory_path = (
+        Path(args.trajectory)
+        if args.trajectory is not None
+        else root / "BENCH_TRAJECTORY.json"
+    )
+
+    if args.validate:
+        if not trajectory_path.exists():
+            print(f"no trajectory at {trajectory_path}")
+            return 1
+        trajectory = benchtrend.load_trajectory(trajectory_path)
+        problems = benchtrend.validate_trajectory(trajectory)
+        for problem in problems:
+            print(f"invalid: {problem}")
+        if not problems:
+            print(
+                f"trajectory ok: {len(trajectory['snapshots'])} snapshot(s) "
+                f"at {trajectory_path}"
+            )
+        return 1 if problems else 0
+
+    bench_files = benchtrend.discover_bench_files(root)
+    if not bench_files:
+        print(f"no BENCH_*.json files under {root}")
+        return 1
+    snapshot = benchtrend.build_snapshot(root, label=args.label)
+    trajectory = benchtrend.load_trajectory(trajectory_path)
+    appended = benchtrend.append_snapshot(trajectory, snapshot)
+    benchtrend.write_trajectory(trajectory_path, trajectory)
+    for path in bench_files:
+        print(f"normalized {path.name} -> {benchtrend.bench_slug(path)}")
+    state = "appended snapshot" if appended else "unchanged (coalesced)"
+    print(
+        f"{state}: {len(trajectory['snapshots'])} snapshot(s) in "
+        f"{trajectory_path}"
+    )
+    if args.check:
+        regressions = benchtrend.check_regressions(trajectory)
+        for regression in regressions:
+            print(f"regression: {regression}")
+        if regressions:
+            return 1
+        print("regression check: ok")
+    return 0
+
+
 _COMMANDS = {
     "monitor": _cmd_monitor,
     "verilog": _cmd_verilog,
@@ -675,6 +922,13 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # Multi-word subcommands route before the flat experiment parser.
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the ShareStreams paper.",
@@ -826,6 +1080,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         for name in sorted(_COMMANDS):
             print(name)
+        print("trace")
+        print("bench trend")
         return 0
     if args.sweep is not None:
         if args.experiment not in _SWEEPABLE:

@@ -58,6 +58,7 @@ from repro.core.batch_engine import BatchScheduler
 from repro.core.config import ArchConfig, BlockMode, Routing
 from repro.core.scheduler import ShareStreamsScheduler
 from repro.observability.events import TraceRecorder
+from repro.observability.spans import SpanTracer, activate_tracer, current_tracer
 
 __all__ = [
     "Scenario",
@@ -436,7 +437,8 @@ def bucket_key(scenario: Scenario) -> tuple:
 
 
 def run_bucket(
-    scenarios, *, observers=None, stats: dict | None = None
+    scenarios, *, observers=None, stats: dict | None = None,
+    tracer: SpanTracer | None = None,
 ) -> list[EngineTrace]:
     """Execute a same-shape bucket as one tensorized campaign.
 
@@ -469,6 +471,7 @@ def run_bucket(
         _arch_config(first),
         [list(scenario.streams) for scenario in scenarios],
         observers=list(observers) if observers is not None else None,
+        profile_phases=tracer is not None,
     )
     schedules = [_arrival_schedule(scenario) for scenario in scenarios]
     consume = [scenario.consume for scenario in scenarios]
@@ -512,6 +515,20 @@ def run_bucket(
             stats.get("fast_forwarded", 0) + engine.fast_forwarded
         )
         stats["cycles"] = stats.get("cycles", 0) + n_cycles * n_scenarios
+    if tracer is not None:
+        # One aggregated span per engine phase (fixed emission order);
+        # call counts are workload-derived (canonical tags), wall time
+        # is an execution detail (measures).
+        for phase, (calls, wall_s) in engine.phase_report().items():
+            span_tags = {"calls": calls}
+            if phase == "fast_forward":
+                span_tags["cycles"] = engine.fast_forwarded
+            tracer.record_span(
+                phase,
+                kind="phase",
+                tags=span_tags,
+                measures={"wall_us": int(wall_s * 1e6)},
+            )
     return [
         EngineTrace(
             engine="tensor",
@@ -533,7 +550,8 @@ def run_bucket(
 
 
 def cross_validate_bucket(
-    scenarios, mode: str = "outcome", *, stats: dict | None = None
+    scenarios, mode: str = "outcome", *, stats: dict | None = None,
+    tracer: SpanTracer | None = None,
 ) -> list[Divergence | None]:
     """Cross-validate a same-shape bucket: oracle vs campaign engine.
 
@@ -545,7 +563,7 @@ def cross_validate_bucket(
     scenarios = list(scenarios)
     if mode == "trace":
         recorders = [TraceRecorder() for _ in scenarios]
-        run_bucket(scenarios, observers=recorders, stats=stats)
+        run_bucket(scenarios, observers=recorders, stats=stats, tracer=tracer)
         results: list[Divergence | None] = []
         for scenario, recorder in zip(scenarios, recorders):
             ref_rec = TraceRecorder()
@@ -554,7 +572,7 @@ def cross_validate_bucket(
                 _compare_event_streams(scenario, ref_rec, recorder)
             )
         return results
-    tensor_traces = run_bucket(scenarios, stats=stats)
+    tensor_traces = run_bucket(scenarios, stats=stats, tracer=tracer)
     return [
         _compare_traces(scenario, run_engine(scenario, "reference"), trace)
         for scenario, trace in zip(scenarios, tensor_traces)
@@ -602,7 +620,16 @@ def validate_seed(
     """
     validate = cross_validate if mode == "outcome" else cross_validate_traces
     scenario = generate_scenario(seed, n_cycles=n_cycles)
-    return _seed_outcome(scenario, validate(scenario, engine))
+    tracer = current_tracer()
+    if tracer is None:
+        return _seed_outcome(scenario, validate(scenario, engine))
+    with tracer.span(
+        "engine_run", kind="engine-run",
+        seed=seed, engine=engine, n_cycles=n_cycles,
+    ) as sp:
+        outcome = _seed_outcome(scenario, validate(scenario, engine))
+        sp.tag(diverged=outcome.divergence is not None)
+    return outcome
 
 
 @dataclass(frozen=True, slots=True)
@@ -635,7 +662,23 @@ def validate_bucket(
 
     scenarios = [generate_scenario(seed, n_cycles=n_cycles) for seed in seeds]
     stats: dict = {}
-    divergences = cross_validate_bucket(scenarios, mode, stats=stats)
+    tracer = current_tracer()
+    if tracer is None:
+        divergences = cross_validate_bucket(scenarios, mode, stats=stats)
+    else:
+        with tracer.span(
+            "engine_run", kind="engine-run",
+            scenarios=len(scenarios), n_cycles=n_cycles, engine="tensor",
+        ) as sp:
+            divergences = cross_validate_bucket(
+                scenarios, mode, stats=stats, tracer=tracer
+            )
+            # Fast-forward attribution: bulk-skipped idle cycles are a
+            # pure function of the workload, so they are canonical tags.
+            sp.tag(
+                cycles=stats.get("cycles", 0),
+                fast_forwarded=stats.get("fast_forwarded", 0),
+            )
     registry = MetricsRegistry()
     registry.counter(
         "differential_bucket_scenarios_total",
@@ -816,6 +859,7 @@ def _tensor_campaign(
     workers,
     cache_dir,
     use_cache: bool,
+    tracer: SpanTracer | None = None,
 ) -> CampaignResult:
     """Bucketed tensor-engine campaign body (see :func:`campaign`).
 
@@ -842,28 +886,45 @@ def _tensor_campaign(
             _scenario_cache_payload(seed, n_cycles, mode, engine="tensor")
         )
 
+    def prepass() -> list[tuple[int, ...]]:
+        """Resolve cache hits, bucket the misses by shape (first-seen
+        order), mutating ``outcomes``/``pending``/``result.cached``."""
+        for seed in seeds:
+            if cache is not None:
+                hit, value = cache.get(payload_key(seed))
+                if hit:
+                    outcomes[seed] = _decode_outcome(value)
+                    result.cached += 1
+                    continue
+            pending.append(seed)
+        buckets: dict[tuple, list[int]] = {}
+        for seed in pending:
+            key = bucket_key(generate_scenario(seed, n_cycles=n_cycles))
+            buckets.setdefault(key, []).append(seed)
+        return [tuple(bucket) for bucket in buckets.values()]
+
     outcomes: dict[int, SeedOutcome] = {}
     pending: list[int] = []
-    for seed in seeds:
-        if cache is not None:
-            hit, value = cache.get(payload_key(seed))
-            if hit:
-                outcomes[seed] = _decode_outcome(value)
-                result.cached += 1
-                continue
-        pending.append(seed)
-
-    buckets: dict[tuple, list[int]] = {}
-    for seed in pending:
-        key = bucket_key(generate_scenario(seed, n_cycles=n_cycles))
-        buckets.setdefault(key, []).append(seed)
-    items = [tuple(bucket) for bucket in buckets.values()]
+    if tracer is None:
+        items = prepass()
+    else:
+        with tracer.span("bucket_prepass", kind="prepass") as prep:
+            items = prepass()
+            prep.tag(
+                seeds=len(seeds),
+                cached=result.cached,
+                pending=len(pending),
+                buckets=len(items),
+            )
 
     pool = run_sharded(
         validate_bucket,
         items,
         workers=workers,
         task_args=(n_cycles, mode),
+        tracer=tracer,
+        span_name="bucket",
+        span_kind="bucket",
     )
     snapshots = []
     for bucket_outcome in pool.results:
@@ -904,6 +965,7 @@ def campaign(
     workers: int | None = 1,
     cache_dir=None,
     use_cache: bool = True,
+    tracer: SpanTracer | None = None,
     _task=None,
 ) -> CampaignResult:
     """Cross-validate one scenario per seed; aggregate coverage + failures.
@@ -933,12 +995,46 @@ def campaign(
     A seed whose worker *dies* (hard crash, lost shard) is reported in
     ``result.failures`` with its shard's seed list rather than sinking
     the whole campaign; ``result.passed`` is then ``False``.
+
+    ``tracer`` (a :class:`~repro.observability.spans.SpanTracer`) records
+    the campaign as a hierarchical span tree — campaign → bucket
+    pre-pass → per-seed/per-bucket item spans (with cache hit/miss tags)
+    → engine runs → engine phases — propagated through the worker pool
+    and merged index-ordered, so the canonical tree is byte-identical
+    for any worker count.
     """
     if mode not in ("outcome", "trace"):
         raise ValueError(f"unknown campaign mode {mode!r}")
     if engine not in ("batch", "tensor"):
         raise ValueError(f"unknown campaign engine {engine!r}")
     seeds = list(seeds)
+    if tracer is not None:
+        with tracer.span(
+            "campaign", kind="campaign",
+            mode=mode, engine=engine, n_cycles=n_cycles, seeds=len(seeds),
+        ), activate_tracer(tracer):
+            return _campaign_body(
+                seeds, n_cycles, stop_on_divergence, mode, engine,
+                workers, cache_dir, use_cache, tracer, _task,
+            )
+    return _campaign_body(
+        seeds, n_cycles, stop_on_divergence, mode, engine,
+        workers, cache_dir, use_cache, None, _task,
+    )
+
+
+def _campaign_body(
+    seeds: list,
+    n_cycles: int,
+    stop_on_divergence: bool,
+    mode: str,
+    engine: str,
+    workers,
+    cache_dir,
+    use_cache: bool,
+    tracer: SpanTracer | None,
+    _task,
+) -> CampaignResult:
     result = CampaignResult(mode=mode, n_cycles=n_cycles, engine=engine)
     if stop_on_divergence:
         for seed in seeds:
@@ -950,7 +1046,8 @@ def campaign(
         return result
     if engine == "tensor" and _task is None:
         return _tensor_campaign(
-            seeds, result, n_cycles, mode, workers, cache_dir, use_cache
+            seeds, result, n_cycles, mode, workers, cache_dir, use_cache,
+            tracer,
         )
 
     from repro.runner import ResultCache, run_sharded
@@ -972,6 +1069,9 @@ def campaign(
         cache_encode=_encode_outcome,
         cache_decode=_decode_outcome,
         cache_if=lambda seed, outcome: outcome.divergence is None,
+        tracer=tracer,
+        span_name="seed",
+        span_kind="seed",
     )
     for outcome in pool.results:
         if outcome is not None:

@@ -37,6 +37,7 @@ backed by a one-row campaign, cross-validated cycle-by-cycle by
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 import numpy as np
@@ -141,6 +142,12 @@ class CampaignEngine:
         protocol as the other engines); ``None`` entries are skipped.
     trace_timeline:
         Record the (shared, lockstep) control FSM timeline.
+    profile_phases:
+        Accumulate per-phase wall time and call counts (SCHEDULE,
+        PRIORITY_UPDATE, idle fast-forward) for span tracing — read back
+        via :meth:`phase_report`.  Disabled (default) the per-cycle cost
+        is a single ``is not None`` check per phase boundary, matching
+        the observer-hook contract.
     """
 
     def __init__(
@@ -151,6 +158,7 @@ class CampaignEngine:
         n_scenarios: int | None = None,
         observers=None,
         trace_timeline: bool = False,
+        profile_phases: bool = False,
     ) -> None:
         if stream_lists is None:
             if n_scenarios is None:
@@ -209,6 +217,16 @@ class CampaignEngine:
         self._window_resets = np.zeros(shape, dtype=np.int64)
         self._loads = np.zeros(shape, dtype=np.int64)
         self._fast_forwarded = 0  # idle decision cycles skipped in bulk
+        #: phase -> [calls, wall seconds]; None = accounting disabled.
+        self._phase_profile: dict[str, list] | None = (
+            {
+                "schedule": [0, 0.0],
+                "priority_update": [0, 0.0],
+                "fast_forward": [0, 0.0],
+            }
+            if profile_phases
+            else None
+        )
 
         # -- pending-request queues: (deadline, arrival, length) --
         self._queues: list[list[deque]] = [
@@ -531,6 +549,9 @@ class CampaignEngine:
         each identical to what the reference engine produces for that
         scenario in isolation.
         """
+        profile = self._phase_profile
+        if profile is not None:
+            _t0 = time.perf_counter()
         s_count = self.n_scenarios
         consume_s = _per_scenario(consume, s_count, "consume")
         count_s = _per_scenario(count_misses, s_count, "count_misses")
@@ -583,6 +604,11 @@ class CampaignEngine:
             ]
         passes = self._schedule_passes
         self.control.schedule(passes, detail=f"t={now}")
+        if profile is not None:
+            _t1 = time.perf_counter()
+            acc = profile["schedule"]
+            acc[0] += 1
+            acc[1] += _t1 - _t0
 
         # Miss registration, batched over the scenarios that count them.
         if self._wrap:
@@ -653,6 +679,10 @@ class CampaignEngine:
         self.control.priority_update(
             update_cycles, detail=f"circulate={any_circulated}"
         )
+        if profile is not None:
+            acc = profile["priority_update"]
+            acc[0] += 1
+            acc[1] += time.perf_counter() - _t1
         if self.observers is not None:
             for s, observer in enumerate(self.observers):
                 if observer is not None:
@@ -669,6 +699,9 @@ class CampaignEngine:
         """
         if count <= 0:
             return
+        profile = self._phase_profile
+        if profile is not None:
+            _t0 = time.perf_counter()
         self.control.advance_decision_cycles(
             count,
             self._schedule_passes,
@@ -676,6 +709,10 @@ class CampaignEngine:
             detail="idle fast-forward",
         )
         self._fast_forwarded += count
+        if profile is not None:
+            acc = profile["fast_forward"]
+            acc[0] += 1
+            acc[1] += time.perf_counter() - _t0
 
     @property
     def has_pending(self) -> bool:
@@ -897,6 +934,20 @@ class CampaignEngine:
             i: self._slot_counters(scenario, i)
             for i in range(self._n)
             if self._configs[scenario][i] is not None
+        }
+
+    def phase_report(self) -> dict[str, tuple[int, float]]:
+        """Accumulated ``phase -> (calls, wall_seconds)`` in fixed order.
+
+        Empty unless the engine was built with ``profile_phases=True``.
+        Call counts are a pure function of the workload (they feed
+        canonical span tags); wall time is an execution detail.
+        """
+        if self._phase_profile is None:
+            return {}
+        return {
+            name: (int(calls), float(wall))
+            for name, (calls, wall) in self._phase_profile.items()
         }
 
 

@@ -65,9 +65,35 @@ from repro.observability.rollup import (
     rollup_from_dict,
 )
 from repro.observability.server import TelemetryServer
+from repro.observability.spans import (
+    SPAN_SCHEMA,
+    SpanRecord,
+    SpanTracer,
+    activate_tracer,
+    canonical_span_bytes,
+    chrome_trace,
+    critical_path,
+    current_tracer,
+    deterministic_span_id,
+    load_spans_jsonl,
+    spans_jsonl_bytes,
+    summarize_spans,
+)
 from repro.observability.tracelog import TraceEvent, TraceLog
 
 __all__ = [
+    "SPAN_SCHEMA",
+    "SpanRecord",
+    "SpanTracer",
+    "activate_tracer",
+    "canonical_span_bytes",
+    "chrome_trace",
+    "critical_path",
+    "current_tracer",
+    "deterministic_span_id",
+    "load_spans_jsonl",
+    "spans_jsonl_bytes",
+    "summarize_spans",
     "CompositeObserver",
     "ConformanceMonitor",
     "Counter",

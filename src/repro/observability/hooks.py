@@ -59,33 +59,52 @@ class CompositeObserver:
       recorded (bounded :attr:`errors` list, one ``RuntimeWarning`` per
       offending observer) and the remaining observers still receive the
       event.  Telemetry must never take down the scheduling run, and
-      one broken sink must never silence the others.
+      one broken sink must never silence the others;
+    * with a ``profiler``, each observer's dispatch is timed as its own
+      ``observer[i].<hook>`` phase, and **only the observer's own call**
+      sits inside the timed window — error bookkeeping (the bounded
+      error list, the warn-once ``RuntimeWarning``) runs outside it, so
+      a raising observer cannot skew its own or a sibling's timings.
     """
 
-    __slots__ = ("observers", "errors", "_warned")
+    __slots__ = ("observers", "errors", "_warned", "profiler")
 
     #: Retained ``(observer_index, hook_name, exception)`` records.
     MAX_ERRORS = 100
 
-    def __init__(self, observers: Iterable) -> None:
+    def __init__(self, observers: Iterable, *, profiler=None) -> None:
         self.observers = tuple(observers)
         self.errors: list[tuple[int, str, BaseException]] = []
         self._warned: set[int] = set()
+        self.profiler = profiler
 
     def _dispatch(self, index, obs, hook_name, call) -> None:
-        try:
-            call()
-        except Exception as exc:  # noqa: BLE001 - isolation is the point
-            if len(self.errors) < self.MAX_ERRORS:
-                self.errors.append((index, hook_name, exc))
-            if index not in self._warned:
-                self._warned.add(index)
-                warnings.warn(
-                    f"observer {index} ({type(obs).__name__}) raised in "
-                    f"{hook_name} and is being isolated: {exc!r}",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
+        exc: Exception | None = None
+        if self.profiler is None:
+            try:
+                call()
+            except Exception as e:  # noqa: BLE001 - isolation is the point
+                exc = e
+        else:
+            with self.profiler.phase(f"observer[{index}].{hook_name}"):
+                try:
+                    call()
+                except Exception as e:  # noqa: BLE001 - isolation is the point
+                    exc = e
+        if exc is None:
+            return
+        # Outside any timed phase: the cost of recording/warning about a
+        # failure is attributed to no observer.
+        if len(self.errors) < self.MAX_ERRORS:
+            self.errors.append((index, hook_name, exc))
+        if index not in self._warned:
+            self._warned.add(index)
+            warnings.warn(
+                f"observer {index} ({type(obs).__name__}) raised in "
+                f"{hook_name} and is being isolated: {exc!r}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def on_decision(self, outcome) -> None:
         for index, obs in enumerate(self.observers):

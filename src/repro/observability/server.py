@@ -12,6 +12,9 @@ experiment over HTTP with zero third-party dependencies:
   (when a :class:`~repro.observability.monitor.ConformanceMonitor` is
   attached);
 * ``GET /violations`` — every recorded ``SloViolation`` as JSON;
+* ``GET /spans`` — the attached
+  :class:`~repro.observability.spans.SpanTracer`'s span tree as JSON
+  (path-sorted, timing included; empty when no tracer is attached);
 * ``GET /healthz`` — liveness probe (``ok``).
 
 The server is a ``ThreadingHTTPServer`` on a daemon thread: binding
@@ -47,6 +50,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(telemetry.rollups_payload())
         elif path == "/violations":
             self._send_json(telemetry.violations_payload())
+        elif path == "/spans":
+            self._send_json(telemetry.spans_payload())
         elif path in ("/healthz", "/"):
             self._send(200, "ok\n", "text/plain")
         else:
@@ -82,15 +87,25 @@ class TelemetryServer:
         Optional :class:`~repro.observability.monitor.ConformanceMonitor`
         backing ``/rollups`` and ``/violations`` (both return empty
         payloads when absent).
+    tracer:
+        Optional :class:`~repro.observability.spans.SpanTracer` backing
+        ``/spans`` (empty payload when absent).
     host / port:
         Bind address; ``port=0`` selects an ephemeral port.
     """
 
     def __init__(
-        self, registry, *, monitor=None, host: str = "127.0.0.1", port: int = 0
+        self,
+        registry,
+        *,
+        monitor=None,
+        tracer=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
     ) -> None:
         self.registry = registry
         self.monitor = monitor
+        self.tracer = tracer
         self._bind = (host, port)
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -166,4 +181,17 @@ class TelemetryServer:
         return {
             "windows_evaluated": self.monitor.slo.windows_evaluated,
             "violations": [v.to_dict() for v in self.monitor.violations],
+        }
+
+    def spans_payload(self) -> dict[str, Any]:
+        """The attached tracer's span tree as plain JSON (path-sorted)."""
+        from repro.observability.spans import SPAN_SCHEMA, _path_key
+
+        if self.tracer is None:
+            return {"schema": SPAN_SCHEMA, "spans": []}
+        rows = sorted(self.tracer.records(), key=lambda r: _path_key(r.path))
+        return {
+            "schema": SPAN_SCHEMA,
+            "trace_id": self.tracer.trace_id,
+            "spans": [r.to_dict() for r in rows],
         }

@@ -40,11 +40,13 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.observability.spans import SpanTracer, activate_tracer
 from repro.runner.cache import ResultCache
 
 __all__ = [
@@ -135,27 +137,84 @@ def start_method() -> str | None:
     return None
 
 
+def _traced_item(
+    tracer: SpanTracer,
+    task: Callable[..., Any],
+    task_args: tuple,
+    index: int,
+    item: Any,
+    span_name: str,
+    span_kind: str,
+    item_tags: dict[str, Any],
+    lane: int,
+) -> tuple[str, Any]:
+    """Run one item inside its span; the span path is pinned to the
+    item's *original input index* so worker layout never shifts it."""
+    with tracer.span(span_name, kind=span_kind, ordinal=index, **item_tags) as sp:
+        if lane:
+            sp.measures["lane"] = lane
+        with activate_tracer(tracer):
+            try:
+                result: tuple[str, Any] = ("ok", task(item, *task_args))
+            except Exception:
+                result = ("err", traceback.format_exc())
+        sp.tag(status=result[0])
+    return result
+
+
 def _shard_main(
     task: Callable[..., Any],
     task_args: tuple,
     indexed_items: list[tuple[int, Any]],
     out_path: str,
+    span_ctx: dict[str, Any] | None = None,
+    span_name: str = "item",
+    span_kind: str = "item",
+    item_tags: dict[str, Any] | None = None,
+    shard: int = 0,
 ) -> None:
     """Worker body: run one shard's items in order, write results once.
 
     Per-item exceptions are captured as ``("err", traceback)`` entries;
     a hard crash (signal, ``os._exit``) leaves no result file and is
-    detected by the parent via the exit code.
+    detected by the parent via the exit code.  With a propagated trace
+    context, item spans are recorded worker-side and shipped back in the
+    same payload as the results (merged index-ordered by the parent).
     """
+    tracer = SpanTracer.from_context(span_ctx) if span_ctx is not None else None
+    t0 = time.perf_counter()
     results: list[tuple[int, str, Any]] = []
     for index, item in indexed_items:
-        try:
-            results.append((index, "ok", task(item, *task_args)))
-        except Exception:
-            results.append((index, "err", traceback.format_exc()))
+        if tracer is None:
+            try:
+                results.append((index, "ok", task(item, *task_args)))
+            except Exception:
+                results.append((index, "err", traceback.format_exc()))
+        else:
+            status, payload = _traced_item(
+                tracer, task, task_args, index, item,
+                span_name, span_kind, item_tags or {}, shard + 1,
+            )
+            results.append((index, status, payload))
+    payload_out: dict[str, Any] = {"results": results}
+    if tracer is not None:
+        # Shard spans describe execution layout, not workload: flagged
+        # non-canonical so canonical output stays worker-count-invariant.
+        tracer.record_span(
+            "shard",
+            kind="shard",
+            ordinal=shard,
+            canonical=False,
+            tags={"items": len(indexed_items)},
+            measures={
+                "lane": shard + 1,
+                "wall_us": int((time.perf_counter() - t0) * 1e6),
+            },
+        )
+        payload_out["spans"] = tracer.export_records()
     tmp = out_path + ".tmp"
     with open(tmp, "wb") as fh:
-        pickle.dump(results, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(payload_out, fh, protocol=pickle.HIGHEST_PROTOCOL)
     os.replace(tmp, out_path)
 
 
@@ -166,16 +225,45 @@ def _run_inprocess(
     results: list[Any],
     failures: list[ShardFailure],
     completed: set[int],
+    tracer: SpanTracer | None = None,
+    span_name: str = "item",
+    span_kind: str = "item",
+    item_tags: dict[str, Any] | None = None,
 ) -> None:
     """Sequential fallback with the exact shard semantics."""
+    t0 = time.perf_counter()
     for index, item in indexed_items:
-        try:
-            results[index] = task(item, *task_args)
-            completed.add(index)
-        except Exception:
-            failures.append(
-                ShardFailure(shard=0, items=(item,), error=traceback.format_exc())
+        if tracer is None:
+            try:
+                results[index] = task(item, *task_args)
+                completed.add(index)
+            except Exception:
+                failures.append(
+                    ShardFailure(
+                        shard=0, items=(item,), error=traceback.format_exc()
+                    )
+                )
+        else:
+            status, payload = _traced_item(
+                tracer, task, task_args, index, item,
+                span_name, span_kind, item_tags or {}, 0,
             )
+            if status == "ok":
+                results[index] = payload
+                completed.add(index)
+            else:
+                failures.append(
+                    ShardFailure(shard=0, items=(item,), error=str(payload))
+                )
+    if tracer is not None and indexed_items:
+        tracer.record_span(
+            "shard",
+            kind="shard",
+            ordinal=0,
+            canonical=False,
+            tags={"items": len(indexed_items)},
+            measures={"wall_us": int((time.perf_counter() - t0) * 1e6)},
+        )
 
 
 def _run_processes(
@@ -187,18 +275,26 @@ def _run_processes(
     results: list[Any],
     failures: list[ShardFailure],
     completed: set[int],
+    tracer: SpanTracer | None = None,
+    span_name: str = "item",
+    span_kind: str = "item",
+    item_tags: dict[str, Any] | None = None,
 ) -> None:
     """Fan shards out onto worker processes and merge by index."""
     ctx = multiprocessing.get_context(method)
     shards = [indexed_items[s::n_shards] for s in range(n_shards)]
     shards = [shard for shard in shards if shard]
+    span_ctx = tracer.context() if tracer is not None else None
     with tempfile.TemporaryDirectory(prefix="repro-runner-") as tmpdir:
         procs: list[tuple[int, Any, str, list[tuple[int, Any]]]] = []
         for s, shard in enumerate(shards):
             out_path = str(Path(tmpdir) / f"shard-{s}.pkl")
             proc = ctx.Process(
                 target=_shard_main,
-                args=(task, task_args, shard, out_path),
+                args=(
+                    task, task_args, shard, out_path,
+                    span_ctx, span_name, span_kind, item_tags, s,
+                ),
                 name=f"repro-shard-{s}",
             )
             proc.start()
@@ -218,7 +314,7 @@ def _run_processes(
                 continue
             try:
                 with open(out_path, "rb") as fh:
-                    shard_results = pickle.load(fh)
+                    shard_payload = pickle.load(fh)
             except (OSError, pickle.UnpicklingError, EOFError) as exc:
                 failures.append(
                     ShardFailure(
@@ -229,6 +325,12 @@ def _run_processes(
                     )
                 )
                 continue
+            shard_results = shard_payload["results"]
+            if tracer is not None:
+                # Shards are joined in launch order, so absorbed span
+                # records arrive deterministically; canonical output is
+                # additionally path-sorted at serialization time.
+                tracer.absorb(shard_payload.get("spans", ()))
             by_index = {item_index: item for item_index, item in shard}
             for item_index, status, payload in shard_results:
                 if status == "ok":
@@ -257,6 +359,9 @@ def run_sharded(
     cache_encode: Callable[[Any], Any] | None = None,
     cache_decode: Callable[[Any], Any] | None = None,
     cache_if: Callable[[Any, Any], bool] | None = None,
+    tracer: SpanTracer | None = None,
+    span_name: str = "item",
+    span_kind: str = "item",
 ) -> PoolResult:
     """Run ``task(item, *task_args)`` for every item, sharded across cores.
 
@@ -275,6 +380,13 @@ def run_sharded(
         ``cache_decode`` convert results to/from the stored JSON value
         (default: identity); ``cache_if(item, result)`` gates writes
         (default: cache everything that succeeded).
+    tracer:
+        Optional :class:`~repro.observability.spans.SpanTracer`.  Each
+        item gets one ``span_name`` span pinned to its input index
+        (recorded worker-side, shipped back with the shard payload and
+        merged index-ordered); cache hits are recorded parent-side with
+        a ``cache=hit`` tag, executed items with ``cache=miss``.  The
+        canonical span tree is byte-identical for any worker count.
 
     Returns
     -------
@@ -301,21 +413,38 @@ def run_sharded(
                     cache_decode(value) if cache_decode is not None else value
                 )
                 cached += 1
+                if tracer is not None:
+                    tracer.record_span(
+                        span_name,
+                        kind=span_kind,
+                        ordinal=index,
+                        tags={"cache": "hit", "status": "ok"},
+                    )
             else:
                 pending.append((index, item))
     else:
         pending = list(enumerate(items))
 
+    item_tags = {"cache": "miss"} if cache is not None else {}
     completed: set[int] = set()
     n_workers = min(resolve_workers(workers), max(1, len(pending)))
     method = start_method() if n_workers > 1 and len(pending) > 1 else None
     if method is None:
-        _run_inprocess(task, task_args, pending, results, failures, completed)
+        _run_inprocess(
+            task, task_args, pending, results, failures, completed,
+            tracer, span_name, span_kind, item_tags,
+        )
         n_workers = 1
     else:
         _run_processes(
             task, task_args, pending, n_workers, method, results, failures,
-            completed,
+            completed, tracer, span_name, span_kind, item_tags,
+        )
+    if tracer is not None and tracer.current is not None:
+        # Execution layout on the enclosing span: measures only, so the
+        # canonical tree stays independent of worker count/cache state.
+        tracer.current.measure(
+            workers=n_workers, cached=cached, executed=len(pending)
         )
 
     if cache is not None:

@@ -1,0 +1,205 @@
+"""Tests for the bench-record schema and the perf-trend trajectory."""
+
+import json
+
+import pytest
+
+from repro import benchtrend
+from repro.benchtrend import (
+    BENCH_SCHEMA,
+    append_snapshot,
+    bench_payload,
+    bench_record,
+    bench_slug,
+    build_snapshot,
+    check_regressions,
+    discover_bench_files,
+    load_trajectory,
+    normalize_payload,
+    validate_bench,
+    validate_trajectory,
+    write_bench,
+    write_trajectory,
+)
+
+
+class TestRecordsAndPayloads:
+    def test_record_shape(self):
+        rec = bench_record("ops", 1200.5, "ops/s", slots=8, direction="higher")
+        assert rec == {
+            "name": "ops",
+            "value": 1200.5,
+            "unit": "ops/s",
+            "metadata": {"slots": 8, "direction": "higher"},
+        }
+
+    @pytest.mark.parametrize("bad", [True, "12", None, [1]])
+    def test_record_rejects_non_numeric_values(self, bad):
+        with pytest.raises(TypeError):
+            bench_record("ops", bad)
+
+    def test_payload_sorts_records_and_validates(self):
+        payload = bench_payload(
+            "demo",
+            [bench_record("b", 2), bench_record("a", 1), bench_record("a", 3, s=1)],
+        )
+        assert payload["schema"] == BENCH_SCHEMA
+        assert [r["name"] for r in payload["records"]] == ["a", "a", "b"]
+
+    def test_payload_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            bench_payload("demo", [bench_record("a", 1, direction="up")])
+
+    def test_validate_reports_specific_problems(self):
+        problems = validate_bench(
+            {
+                "schema": 99,
+                "bench": "",
+                "records": [{"name": "", "value": "x", "extra": 1}],
+            }
+        )
+        text = "\n".join(problems)
+        assert "schema" in text and "bench" in text
+        assert "records[0].name" in text and "records[0].value" in text
+        assert "unexpected keys" in text
+
+    def test_write_bench_is_canonical(self, tmp_path):
+        out = tmp_path / "BENCH_DEMO.json"
+        payload = write_bench(out, "demo", [bench_record("a", 1)])
+        text = out.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == payload
+        write_bench(out, "demo", [bench_record("a", 1)])
+        assert out.read_text() == text  # regeneration is byte-stable
+
+
+class TestNormalization:
+    def test_schema1_passes_through(self):
+        payload = bench_payload("demo", [bench_record("a", 1)])
+        assert normalize_payload(payload, bench="demo") is payload
+
+    def test_legacy_flattening_and_unit_inference(self):
+        legacy = {
+            "unit": "widgets",
+            "workload": "demo feed",
+            "join_per_second": 100.0,
+            "churn_ratio": 0.9,
+            "nested": {"rss_delta_mb": 12.5},
+            "series": [5, 7],
+            "passed": True,
+        }
+        norm = normalize_payload(legacy, bench="agg")
+        by_name = {r["name"]: r for r in norm["records"]}
+        assert norm["workload"] == "demo feed"
+        assert by_name["join_per_second"]["unit"] == "per_second"
+        assert by_name["churn_ratio"]["unit"] == "ratio"
+        assert by_name["nested.rss_delta_mb"]["unit"] == "MB"
+        assert by_name["series.0"]["value"] == 5
+        assert by_name["series.1"]["unit"] == "widgets"  # top-level default
+        assert "passed" not in by_name  # bools are not measurements
+        assert all(r["metadata"]["legacy"] for r in norm["records"])
+        assert validate_bench(norm) == []
+
+    def test_bench_slug(self):
+        assert bench_slug("BENCH_CAMPAIGN.json") == "campaign"
+        assert bench_slug("/x/BENCH_AGGREGATION.json") == "aggregation"
+
+
+def _bench_dir(tmp_path, value=100.0):
+    write_bench(
+        tmp_path / "BENCH_DEMO.json",
+        "demo",
+        [bench_record("throughput", value, "ops/s", direction="higher")],
+    )
+    return tmp_path
+
+
+class TestTrajectory:
+    def test_discovery_excludes_trajectory(self, tmp_path):
+        _bench_dir(tmp_path)
+        (tmp_path / "BENCH_TRAJECTORY.json").write_text("{}")
+        assert [p.name for p in discover_bench_files(tmp_path)] == [
+            "BENCH_DEMO.json"
+        ]
+
+    def test_append_coalesces_identical_snapshots(self, tmp_path):
+        _bench_dir(tmp_path)
+        trajectory = load_trajectory(tmp_path / "BENCH_TRAJECTORY.json")
+        assert append_snapshot(trajectory, build_snapshot(tmp_path))
+        assert not append_snapshot(trajectory, build_snapshot(tmp_path))
+        _bench_dir(tmp_path, value=130.0)
+        assert append_snapshot(trajectory, build_snapshot(tmp_path))
+        assert [s["sequence"] for s in trajectory["snapshots"]] == [0, 1]
+        assert validate_trajectory(trajectory) == []
+
+    def test_round_trip_and_validation_error(self, tmp_path):
+        _bench_dir(tmp_path)
+        path = tmp_path / "BENCH_TRAJECTORY.json"
+        trajectory = load_trajectory(path)
+        append_snapshot(trajectory, build_snapshot(tmp_path, label="r1"))
+        write_trajectory(path, trajectory)
+        assert load_trajectory(path) == trajectory
+        broken = dict(trajectory)
+        broken["snapshots"] = [{"sequence": -1, "benches": {}}]
+        write_trajectory(path, {**broken, "schema": 1})
+        with pytest.raises(ValueError):
+            load_trajectory(path)
+
+    def _two_snapshots(self, tmp_path, old, new, direction, **meta):
+        trajectory = {"schema": 1, "snapshots": []}
+        for value in (old, new):
+            write_bench(
+                tmp_path / "BENCH_DEMO.json",
+                "demo",
+                [bench_record("m", value, direction=direction, **meta)],
+            )
+            append_snapshot(trajectory, build_snapshot(tmp_path))
+        return trajectory
+
+    def test_regression_detected_against_direction(self, tmp_path):
+        trajectory = self._two_snapshots(tmp_path, 100.0, 60.0, "higher")
+        problems = check_regressions(trajectory)
+        assert len(problems) == 1 and "demo:m" in problems[0]
+
+    def test_improvement_and_tolerance_pass(self, tmp_path):
+        assert check_regressions(
+            self._two_snapshots(tmp_path, 100.0, 140.0, "higher")
+        ) == []
+        assert check_regressions(
+            self._two_snapshots(tmp_path, 100.0, 90.0, "higher")
+        ) == []  # within default 25% tolerance
+        assert check_regressions(
+            self._two_snapshots(tmp_path, 100.0, 30.0, "higher", tolerance=0.8)
+        ) == []  # explicit per-record tolerance honored
+
+    def test_lower_is_better_direction(self, tmp_path):
+        trajectory = self._two_snapshots(tmp_path, 10.0, 20.0, "lower")
+        assert len(check_regressions(trajectory)) == 1
+
+    def test_single_snapshot_never_regresses(self, tmp_path):
+        _bench_dir(tmp_path)
+        trajectory = {"schema": 1, "snapshots": []}
+        append_snapshot(trajectory, build_snapshot(tmp_path))
+        assert check_regressions(trajectory) == []
+
+
+class TestRepoArtifacts:
+    """The committed artifacts conform to the schema they define."""
+
+    def test_committed_bench_files_are_schema1(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        files = discover_bench_files(root)
+        assert files, "expected committed BENCH_*.json artifacts"
+        for path in files:
+            payload = json.loads(path.read_text())
+            assert validate_bench(payload) == [], path.name
+
+    def test_committed_trajectory_validates(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        trajectory = json.loads((root / "BENCH_TRAJECTORY.json").read_text())
+        assert validate_trajectory(trajectory) == []
+        assert benchtrend.check_regressions(trajectory) == []

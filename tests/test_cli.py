@@ -166,3 +166,97 @@ class TestCLIMonitoring:
     def test_flight_recorder_rejected_for_unsupported_command(self):
         with pytest.raises(SystemExit):
             main(["figure7", "--flight-recorder", "/tmp/nope"])
+
+
+class TestCLITrace:
+    def test_trace_runs_campaign_and_prints_rollup(self, capsys):
+        assert main(["trace", "--count", "4", "--cycles", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "span rollup" in out
+        assert "campaign" in out and "engine_run" in out
+        assert "passed=True" in out
+
+    def test_trace_exports_and_critical_path(self, capsys, tmp_path):
+        spans = tmp_path / "spans.jsonl"
+        canonical = tmp_path / "canonical.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace", "--count", "3", "--cycles", "60",
+                "--critical-path",
+                "--spans", str(spans),
+                "--canonical", str(canonical),
+                "--export-chrome", str(chrome),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert spans.exists() and canonical.exists()
+        import json as _json
+
+        trace = _json.loads(chrome.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_trace_reports_on_exported_file(self, capsys, tmp_path):
+        spans = tmp_path / "spans.jsonl"
+        assert main(
+            ["trace", "--count", "3", "--cycles", "60", "--spans", str(spans)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "--input", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out and "span rollup" in out
+
+    def test_trace_listed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "bench trend" in out
+
+
+class TestCLIBenchTrend:
+    def _seed_bench(self, root, value=100.0):
+        from repro.benchtrend import bench_record, write_bench
+
+        write_bench(
+            root / "BENCH_DEMO.json",
+            "demo",
+            [bench_record("ops", value, "ops/s", direction="higher")],
+        )
+
+    def test_trend_appends_and_coalesces(self, capsys, tmp_path):
+        self._seed_bench(tmp_path)
+        argv = ["bench", "trend", "--root", str(tmp_path)]
+        assert main(argv) == 0
+        assert "appended snapshot" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "coalesced" in capsys.readouterr().out
+        assert (tmp_path / "BENCH_TRAJECTORY.json").exists()
+
+    def test_trend_check_fails_on_regression(self, capsys, tmp_path):
+        self._seed_bench(tmp_path, 100.0)
+        assert main(["bench", "trend", "--root", str(tmp_path)]) == 0
+        self._seed_bench(tmp_path, 10.0)
+        assert main(
+            ["bench", "trend", "--root", str(tmp_path), "--check"]
+        ) == 1
+        assert "regression: demo:ops" in capsys.readouterr().out
+
+    def test_trend_validate_only(self, capsys, tmp_path):
+        self._seed_bench(tmp_path)
+        assert main(["bench", "trend", "--root", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "trend", "--root", str(tmp_path), "--validate"]
+        ) == 0
+        assert "trajectory ok" in capsys.readouterr().out
+
+    def test_trend_validate_missing_trajectory(self, capsys, tmp_path):
+        assert main(
+            ["bench", "trend", "--root", str(tmp_path), "--validate"]
+        ) == 1
+        assert "no trajectory" in capsys.readouterr().out
+
+    def test_trend_no_bench_files(self, capsys, tmp_path):
+        assert main(["bench", "trend", "--root", str(tmp_path)]) == 1
+        assert "no BENCH_*.json" in capsys.readouterr().out

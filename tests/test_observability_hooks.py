@@ -163,3 +163,76 @@ class TestResolveObserver:
         assert isinstance(combined, CompositeObserver)
         assert combined.observers[0] is obs
         assert isinstance(combined.observers[1], LegacyTraceObserver)
+
+
+class TestProfilerIsolation:
+    """Regression: a raising observer must not skew phase timings.
+
+    The warn-once RuntimeWarning (and the bounded error-list append) can
+    be arbitrarily expensive — warning filters, captured tracebacks — so
+    that bookkeeping must run *outside* the profiler's timed window, or
+    the first failure inflates ``observer[i].on_decision`` for the very
+    observer being isolated.
+    """
+
+    def _fake_clock_setup(self, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.observability.profiling import PhaseProfiler
+
+        clock = {"now": 0.0}
+
+        def fake_clock():
+            return clock["now"]
+
+        real_warn = warnings_module.warn
+
+        def slow_warn(*args, **kwargs):
+            clock["now"] += 10.0  # a pathologically expensive warning
+            return real_warn(*args, **kwargs)
+
+        monkeypatch.setattr(warnings_module, "warn", slow_warn)
+        return PhaseProfiler(clock=fake_clock), clock
+
+    def test_warn_cost_attributed_to_no_observer(self, monkeypatch):
+        profiler, clock = self._fake_clock_setup(monkeypatch)
+        log = []
+        comp = CompositeObserver(
+            [Exploder(), Recorder(log, "a")], profiler=profiler
+        )
+        with pytest.warns(RuntimeWarning):
+            comp.on_decision(FakeOutcome(0))
+        report = profiler.report()
+        # The exploder's own phase saw zero fake-clock time: the 10s
+        # spent warning about it happened outside every timed window.
+        assert report["observer[0].on_decision"].wall_s == 0.0
+        assert report["observer[1].on_decision"].wall_s == 0.0
+        assert log == [("a", "decision", 0)]
+        assert clock["now"] == 10.0  # the warning really did "cost" 10s
+
+    def test_bounded_errors_and_warn_once_with_profiler(self, monkeypatch):
+        profiler, clock = self._fake_clock_setup(monkeypatch)
+        comp = CompositeObserver([Exploder()], profiler=profiler)
+        with pytest.warns(RuntimeWarning):
+            for t in range(CompositeObserver.MAX_ERRORS + 10):
+                comp.on_decision(FakeOutcome(t))
+        assert len(comp.errors) == CompositeObserver.MAX_ERRORS
+        assert clock["now"] == 10.0  # warn-once: a single slow warning
+        report = profiler.report()
+        assert report["observer[0].on_decision"].wall_s == 0.0
+        assert (
+            report["observer[0].on_decision"].calls
+            == CompositeObserver.MAX_ERRORS + 10
+        )
+
+    def test_healthy_observers_still_timed(self):
+        from repro.observability.profiling import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        log = []
+        comp = CompositeObserver([Recorder(log, "a")], profiler=profiler)
+        comp.on_decision(FakeOutcome(0))
+        comp.finalize()
+        report = profiler.report()
+        assert report["observer[0].on_decision"].calls == 1
+        assert report["observer[0].finalize"].calls == 1

@@ -1,0 +1,121 @@
+"""Span-merge determinism across the process pool.
+
+The acceptance criterion the tentpole pins: one traced sharded campaign
+produces one merged span tree whose *canonical* serialization is
+byte-identical for any worker count — worker spans are recorded in the
+workers, shipped back with the shard payloads and absorbed by the parent
+tracer, and nothing about process layout may leak into canonical bytes.
+The second half of the contract: attaching (or omitting) a tracer never
+changes the campaign result itself.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.differential import campaign
+from repro.observability.spans import SpanTracer
+
+WORKER_COUNTS = (1, 2, 4)
+
+seed_lists = st.lists(
+    st.integers(min_value=0, max_value=50),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+relaxed = settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _traced_campaign(seeds, workers, engine):
+    tracer = SpanTracer("merge-test")
+    result = campaign(
+        seeds,
+        n_cycles=40,
+        engine=engine,
+        workers=workers,
+        use_cache=False,
+        tracer=tracer,
+    )
+    return result, tracer
+
+
+@relaxed
+@given(seeds=seed_lists)
+def test_tensor_campaign_span_tree_worker_invariant(seeds):
+    trees = {}
+    summaries = {}
+    for workers in WORKER_COUNTS:
+        result, tracer = _traced_campaign(seeds, workers, "tensor")
+        assert result.passed
+        trees[workers] = tracer.canonical_bytes()
+        summaries[workers] = result.summary_json()
+    assert trees[1] == trees[2] == trees[4]
+    assert summaries[1] == summaries[2] == summaries[4]
+    assert trees[1]  # non-empty: the campaign really was traced
+
+
+@relaxed
+@given(seeds=seed_lists)
+def test_batch_campaign_span_tree_worker_invariant(seeds):
+    trees = [
+        _traced_campaign(seeds, workers, "batch")[1].canonical_bytes()
+        for workers in WORKER_COUNTS
+    ]
+    assert trees[0] == trees[1] == trees[2]
+
+
+def test_cache_hits_keep_span_tree_invariant(tmp_path):
+    """Warm-cache runs record parent-side cache-hit spans at the items'
+    original ordinals, so cached and executed runs agree on paths."""
+    seeds = [3, 7, 11, 19]
+    cache_dir = tmp_path / "cache"
+
+    def run(workers):
+        tracer = SpanTracer("cache-test")
+        result = campaign(
+            seeds,
+            n_cycles=40,
+            engine="batch",
+            workers=workers,
+            cache_dir=cache_dir,
+            tracer=tracer,
+        )
+        return result, tracer
+
+    cold, cold_tracer = run(1)
+    assert cold.cached == 0
+    warm1, warm1_tracer = run(1)
+    warm4, warm4_tracer = run(4)
+    assert warm1.cached == len(seeds) == warm4.cached
+    assert warm1_tracer.canonical_bytes() == warm4_tracer.canonical_bytes()
+    hits = [
+        r for r in warm1_tracer.records() if r.tags.get("cache") == "hit"
+    ]
+    assert len(hits) == len(seeds)
+    # Cache state changes execution depth (hits skip the engine-run
+    # subtree), not identity: the seed-item spans themselves keep the
+    # same paths and span ids across cold and warm runs.
+    def seed_spans(tracer):
+        return {
+            r.path: r.span_id
+            for r in tracer.records()
+            if r.canonical and r.name == "seed"
+        }
+
+    assert seed_spans(cold_tracer) == seed_spans(warm1_tracer)
+
+
+def test_disabled_tracer_leaves_campaign_summary_untouched():
+    """tracer=None (the seed baseline) and a traced run produce
+    byte-identical campaign summaries."""
+    seeds = range(6)
+    baseline = campaign(
+        seeds, n_cycles=40, engine="tensor", workers=2, use_cache=False
+    )
+    traced, _ = _traced_campaign(seeds, 2, "tensor")
+    assert baseline.summary_json() == traced.summary_json()

@@ -188,3 +188,48 @@ class TestDashboard:
     def test_non_tty_defaults_to_plain_frames(self):
         dash = Dashboard(self._monitor(), out=io.StringIO())
         assert dash.ansi is False
+
+
+class TestSpansEndpoint:
+    def _tracer(self):
+        from repro.observability import SpanTracer
+
+        tracer = SpanTracer("endpoint-test")
+        with tracer.span("campaign", kind="campaign", seeds=2):
+            with tracer.span("seed", ordinal=1) as sp:
+                sp.measure(lane=1)
+            with tracer.span("seed", ordinal=0):
+                pass
+        return tracer
+
+    def test_spans_payload_served_path_sorted(self, registry):
+        tracer = self._tracer()
+        with TelemetryServer(registry, tracer=tracer) as server:
+            status, ctype, body = fetch(f"{server.url}/spans")
+        assert status == 200 and ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["schema"] == 1
+        assert payload["trace_id"] == "endpoint-test"
+        assert [s["path"] for s in payload["spans"]] == [
+            "campaign[0]",
+            "campaign[0]/seed[0]",
+            "campaign[0]/seed[1]",
+        ]
+        assert payload["spans"][2]["measures"] == {"lane": 1}
+
+    def test_spans_empty_without_tracer(self, registry):
+        with TelemetryServer(registry) as server:
+            _, _, body = fetch(f"{server.url}/spans")
+        assert json.loads(body) == {"schema": 1, "spans": []}
+
+    def test_spans_reflect_live_recording(self, registry):
+        from repro.observability import SpanTracer
+
+        tracer = SpanTracer("live")
+        with TelemetryServer(registry, tracer=tracer) as server:
+            _, _, before = fetch(f"{server.url}/spans")
+            with tracer.span("campaign"):
+                pass
+            _, _, after = fetch(f"{server.url}/spans")
+        assert json.loads(before)["spans"] == []
+        assert len(json.loads(after)["spans"]) == 1
