@@ -30,7 +30,10 @@ def pytest_runtest_setup(item) -> None:
     if "benchmark" not in getattr(item, "fixturenames", ()):
         return
     if not item.config.pluginmanager.hasplugin("benchmark"):
-        pytest.skip("pytest-benchmark not available")
+        pytest.skip(
+            "pytest-benchmark plugin not loaded — install the bench "
+            'extra (pip install -e ".[bench]") or drop -p no:benchmark'
+        )
 
 
 if importlib.util.find_spec("pytest_benchmark") is None:
@@ -44,7 +47,10 @@ if importlib.util.find_spec("pytest_benchmark") is None:
         above already skips such items, this keeps collection of
         ``--fixtures`` listings and derived fixtures coherent too.
         """
-        pytest.skip("pytest-benchmark not installed")
+        pytest.skip(
+            "pytest-benchmark is not installed — install the bench "
+            'extra: pip install -e ".[bench]"'
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,150 @@
+"""Backend crossover study: the same campaign on every array backend.
+
+The array-API refactor (``repro.core.backend``) exists so the ``(S, N)``
+campaign engine can run on accelerator libraries without forking the
+kernels.  This benchmark reproduces the CPU-vs-accelerator crossover
+methodology from the tensor-network literature: sweep the campaign
+shape — S scenarios x N streams — through the *identical* periodic EDF
+workload on each installable backend, record scenario-cycles/second,
+and print the S x N crossover table (rate ratio vs the NumPy
+baseline).  On hosts missing an optional library or GPU the sweep
+degrades to skip-with-reason per backend (the availability report from
+:func:`repro.core.backend.available_backends`), never to silence.
+
+Machine-readable results land in ``BENCH_BACKENDS.json`` at the repo
+root via the shared ``write_bench`` envelope, so the perf-trend layer
+(``repro bench trend``) folds backend rates into the trajectory like
+every other bench artifact.
+
+Byte-identity across backends is *asserted* here too (cheap, and it
+turns the perf sweep into one more differential fixture), but the real
+equivalence gate is ``tests/test_backend_equivalence.py`` plus the CI
+backend matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _schema import bench_record, write_bench
+from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.backend import available_backends, resolve_backend
+from repro.core.config import ArchConfig, Routing
+from repro.core.tensor_engine import CampaignEngine
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_BACKENDS.json"
+
+SCENARIO_COUNTS = (1, 16, 64)
+SLOT_COUNTS = (8, 32)
+
+_CYCLES = {8: 300, 32: 150}
+_WARMUP = 8
+
+
+def _arch_streams(n_slots: int) -> tuple[ArchConfig, list[StreamConfig]]:
+    arch = ArchConfig(n_slots=n_slots, routing=Routing.WR, wrap=False)
+    streams = [
+        StreamConfig(sid=i, period=1, mode=SchedulingMode.EDF)
+        for i in range(n_slots)
+    ]
+    return arch, streams
+
+
+def _run(backend, s_count: int, n_slots: int, cycles: int):
+    """One timed campaign run; returns (rate, per-stream win counts)."""
+    arch, streams = _arch_streams(n_slots)
+    engine = CampaignEngine(
+        arch, [list(streams) for _ in range(s_count)], engine_backend=backend
+    )
+    engine.run_periodic(_WARMUP, step=1)
+    engine = CampaignEngine(
+        arch, [list(streams) for _ in range(s_count)], engine_backend=backend
+    )
+    start = time.perf_counter()
+    results = engine.run_periodic(cycles, step=1)
+    rate = s_count * cycles / (time.perf_counter() - start)
+    return rate, np.stack([r.wins for r in results])
+
+
+def test_backend_crossover(report):
+    availability = available_backends()
+    usable = [name for name, reason in availability.items() if reason is None]
+    skipped = {
+        name: reason
+        for name, reason in availability.items()
+        if reason is not None
+    }
+    assert "numpy" in usable  # the baseline backend is a hard dependency
+
+    records = []
+    rates: dict[tuple[str, int, int], float] = {}
+    baseline_wins: dict[tuple[int, int], np.ndarray] = {}
+    for name in usable:
+        backend = resolve_backend(name)
+        for n in SLOT_COUNTS:
+            for s in SCENARIO_COUNTS:
+                rate, wins = _run(backend, s, n, _CYCLES[n])
+                rates[(name, s, n)] = rate
+                if name == "numpy":
+                    baseline_wins[(s, n)] = wins
+                else:
+                    # The sweep doubles as a cheap differential check.
+                    np.testing.assert_array_equal(
+                        wins, baseline_wins[(s, n)],
+                        err_msg=f"{name} diverged at S={s} N={n}",
+                    )
+                records.append(
+                    bench_record(
+                        "backend_ops", rate, "scenario-cycles/s",
+                        backend=name, scenarios=s, slots=n,
+                        direction="higher",
+                    )
+                )
+
+    # Crossover table: each backend's rate as a ratio of NumPy's at the
+    # same (S, N) point — ratios > 1 mark where the backend wins.
+    rows = []
+    header = "S x N      " + "".join(f"{name:>18}" for name in usable)
+    rows.append(header)
+    for n in SLOT_COUNTS:
+        for s in SCENARIO_COUNTS:
+            base = rates[("numpy", s, n)]
+            cells = []
+            for name in usable:
+                rate = rates[(name, s, n)]
+                cells.append(f"{rate:>10,.0f} ({rate / base:>4.2f}x)")
+                if name != "numpy":
+                    records.append(
+                        bench_record(
+                            "backend_vs_numpy", rate / base, "ratio",
+                            backend=name, scenarios=s, slots=n,
+                            direction="higher",
+                        )
+                    )
+            rows.append(f"S={s:>3} N={n:>3}" + "".join(cells))
+    for name, reason in skipped.items():
+        rows.append(f"skipped {name}: {reason}")
+
+    write_bench(
+        OUTPUT,
+        "backends",
+        records,
+        workload="periodic EDF feed, one arrival per stream per "
+        "decision cycle, per array backend",
+    )
+    report(
+        "Backend crossover: scenario-cycles/s by (S, N) and backend",
+        "\n".join(rows),
+    )
+
+    if len(usable) == 1:
+        pytest.skip(
+            "only the numpy backend is installed — no crossover to "
+            'measure (pip install -e ".[backends]" for torch/'
+            "array-api-strict; cupy needs a CUDA runtime). "
+            f"NumPy rates recorded in {OUTPUT.name}."
+        )

@@ -127,9 +127,30 @@ def write_bench(
     *,
     workload: str | None = None,
 ) -> dict[str, Any]:
-    """Build, validate and canonically write one bench payload."""
+    """Build, validate and canonically write one bench payload.
+
+    Refuses to overwrite an artifact written by a *newer* schema: an
+    old checkout (or a stale CI runner) silently downgrading a
+    committed ``BENCH_*.json`` would corrupt the trajectory history,
+    so that case raises instead of writing.  Unreadable or
+    non-JSON existing files are overwritten freely — they were never
+    valid artifacts.
+    """
+    target = Path(path)
     payload = bench_payload(bench, records, workload=workload)
-    Path(path).write_text(_canonical_text(payload))
+    try:
+        existing = json.loads(target.read_text())
+    except (OSError, ValueError):
+        existing = None
+    if isinstance(existing, dict):
+        old_schema = existing.get("schema")
+        if isinstance(old_schema, int) and old_schema > BENCH_SCHEMA:
+            raise ValueError(
+                f"{target} holds a schema-{old_schema} bench artifact; "
+                f"refusing to overwrite it with schema {BENCH_SCHEMA} "
+                "(update this checkout instead of downgrading the file)"
+            )
+    target.write_text(_canonical_text(payload))
     return payload
 
 

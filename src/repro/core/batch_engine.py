@@ -153,6 +153,7 @@ def make_scheduler(
     trace_timeline: bool = False,
     trace=None,
     observer=None,
+    engine_backend: str = "numpy",
 ):
     """Instantiate a scheduler engine by name.
 
@@ -164,7 +165,16 @@ def make_scheduler(
     same ``decision_cycle`` / ``enqueue`` / ``slot`` / ``counters``
     surface — including the ``observer`` telemetry hook — and are
     asserted behaviorally identical by :mod:`repro.core.differential`.
+
+    ``engine_backend`` selects the array namespace for the tensor
+    engine (see :mod:`repro.core.backend`); the reference and batch
+    engines are NumPy-only and reject any other value.
     """
+    if engine != "tensor" and engine_backend != "numpy":
+        raise ValueError(
+            f"engine_backend={engine_backend!r} requires engine='tensor' "
+            f"(the {engine!r} engine is NumPy-only)"
+        )
     if engine == "reference":
         from repro.core.scheduler import ShareStreamsScheduler
 
@@ -193,6 +203,7 @@ def make_scheduler(
             trace_timeline=trace_timeline,
             trace=trace,
             observer=observer,
+            engine_backend=engine_backend,
         )
     raise ValueError(
         f"unknown engine {engine!r} "

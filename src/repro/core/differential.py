@@ -54,6 +54,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.backend import BACKENDS
 from repro.core.batch_engine import BatchScheduler
 from repro.core.config import ArchConfig, BlockMode, Routing
 from repro.core.scheduler import ShareStreamsScheduler
@@ -245,9 +246,21 @@ def _arch_config(scenario: Scenario) -> ArchConfig:
     )
 
 
-def build_engine(scenario: Scenario, engine: str, *, observer=None):
-    """Instantiate one engine (``reference``/``batch``/``tensor``)."""
+def build_engine(
+    scenario: Scenario, engine: str, *, observer=None,
+    engine_backend: str = "numpy",
+):
+    """Instantiate one engine (``reference``/``batch``/``tensor``).
+
+    ``engine_backend`` selects the tensor engine's array namespace
+    (:mod:`repro.core.backend`); the reference and batch engines are
+    NumPy-only and reject any other value.
+    """
     config = _arch_config(scenario)
+    if engine != "tensor" and engine_backend != "numpy":
+        raise ValueError(
+            f"engine_backend={engine_backend!r} requires engine='tensor'"
+        )
     if engine == "reference":
         return ShareStreamsScheduler(
             config, list(scenario.streams), observer=observer
@@ -258,7 +271,8 @@ def build_engine(scenario: Scenario, engine: str, *, observer=None):
         from repro.core.tensor_engine import TensorScheduler
 
         return TensorScheduler(
-            config, list(scenario.streams), observer=observer
+            config, list(scenario.streams), observer=observer,
+            engine_backend=engine_backend,
         )
     raise ValueError(f"unknown engine {engine!r}")
 
@@ -300,9 +314,14 @@ def _cycle_record(outcome) -> CycleRecord:
     )
 
 
-def run_engine(scenario: Scenario, engine: str, *, observer=None) -> EngineTrace:
+def run_engine(
+    scenario: Scenario, engine: str, *, observer=None,
+    engine_backend: str = "numpy",
+) -> EngineTrace:
     """Execute ``scenario`` on one engine, recording every observable."""
-    sched = build_engine(scenario, engine, observer=observer)
+    sched = build_engine(
+        scenario, engine, observer=observer, engine_backend=engine_backend
+    )
     records = []
     for t, (arrivals, drop) in enumerate(_arrival_schedule(scenario)):
         for sid, deadline, arrival in arrivals:
@@ -379,20 +398,25 @@ def _compare_event_streams(
 
 
 def cross_validate(
-    scenario: Scenario, engine: str = "batch"
+    scenario: Scenario, engine: str = "batch",
+    engine_backend: str = "numpy",
 ) -> Divergence | None:
     """Run the oracle and one fast engine; return the first divergence.
 
     ``None`` means the engines agreed on every decision cycle and on
-    the final performance counters.
+    the final performance counters.  ``engine_backend`` selects the
+    fast engine's array namespace (tensor engine only); the reference
+    run always executes on NumPy, so a passing campaign proves the
+    alternate backend byte-identical to the oracle.
     """
     ref = run_engine(scenario, "reference")
-    fast = run_engine(scenario, engine)
+    fast = run_engine(scenario, engine, engine_backend=engine_backend)
     return _compare_traces(scenario, ref, fast)
 
 
 def cross_validate_traces(
-    scenario: Scenario, engine: str = "batch"
+    scenario: Scenario, engine: str = "batch",
+    engine_backend: str = "numpy",
 ) -> Divergence | None:
     """Run both engines under telemetry; compare the trace streams.
 
@@ -405,7 +429,9 @@ def cross_validate_traces(
     ref_rec = TraceRecorder()
     fast_rec = TraceRecorder()
     run_engine(scenario, "reference", observer=ref_rec)
-    run_engine(scenario, engine, observer=fast_rec)
+    run_engine(
+        scenario, engine, observer=fast_rec, engine_backend=engine_backend
+    )
     return _compare_event_streams(scenario, ref_rec, fast_rec)
 
 
@@ -438,7 +464,7 @@ def bucket_key(scenario: Scenario) -> tuple:
 
 def run_bucket(
     scenarios, *, observers=None, stats: dict | None = None,
-    tracer: SpanTracer | None = None,
+    tracer: SpanTracer | None = None, engine_backend: str = "numpy",
 ) -> list[EngineTrace]:
     """Execute a same-shape bucket as one tensorized campaign.
 
@@ -472,6 +498,7 @@ def run_bucket(
         [list(scenario.streams) for scenario in scenarios],
         observers=list(observers) if observers is not None else None,
         profile_phases=tracer is not None,
+        engine_backend=engine_backend,
     )
     schedules = [_arrival_schedule(scenario) for scenario in scenarios]
     consume = [scenario.consume for scenario in scenarios]
@@ -551,7 +578,7 @@ def run_bucket(
 
 def cross_validate_bucket(
     scenarios, mode: str = "outcome", *, stats: dict | None = None,
-    tracer: SpanTracer | None = None,
+    tracer: SpanTracer | None = None, engine_backend: str = "numpy",
 ) -> list[Divergence | None]:
     """Cross-validate a same-shape bucket: oracle vs campaign engine.
 
@@ -563,7 +590,10 @@ def cross_validate_bucket(
     scenarios = list(scenarios)
     if mode == "trace":
         recorders = [TraceRecorder() for _ in scenarios]
-        run_bucket(scenarios, observers=recorders, stats=stats, tracer=tracer)
+        run_bucket(
+            scenarios, observers=recorders, stats=stats, tracer=tracer,
+            engine_backend=engine_backend,
+        )
         results: list[Divergence | None] = []
         for scenario, recorder in zip(scenarios, recorders):
             ref_rec = TraceRecorder()
@@ -572,7 +602,9 @@ def cross_validate_bucket(
                 _compare_event_streams(scenario, ref_rec, recorder)
             )
         return results
-    tensor_traces = run_bucket(scenarios, stats=stats, tracer=tracer)
+    tensor_traces = run_bucket(
+        scenarios, stats=stats, tracer=tracer, engine_backend=engine_backend
+    )
     return [
         _compare_traces(scenario, run_engine(scenario, "reference"), trace)
         for scenario, trace in zip(scenarios, tensor_traces)
@@ -608,7 +640,7 @@ def _seed_outcome(scenario: Scenario, divergence: Divergence | None) -> SeedOutc
 
 def validate_seed(
     seed: int, n_cycles: int = 1000, mode: str = "outcome",
-    engine: str = "batch",
+    engine: str = "batch", engine_backend: str = "numpy",
 ) -> SeedOutcome:
     """Cross-validate one seed; the sharded campaign's unit of work.
 
@@ -622,12 +654,16 @@ def validate_seed(
     scenario = generate_scenario(seed, n_cycles=n_cycles)
     tracer = current_tracer()
     if tracer is None:
-        return _seed_outcome(scenario, validate(scenario, engine))
+        return _seed_outcome(
+            scenario, validate(scenario, engine, engine_backend)
+        )
     with tracer.span(
         "engine_run", kind="engine-run",
         seed=seed, engine=engine, n_cycles=n_cycles,
     ) as sp:
-        outcome = _seed_outcome(scenario, validate(scenario, engine))
+        outcome = _seed_outcome(
+            scenario, validate(scenario, engine, engine_backend)
+        )
         sp.tag(diverged=outcome.divergence is not None)
     return outcome
 
@@ -647,7 +683,8 @@ class BucketOutcome:
 
 
 def validate_bucket(
-    seeds, n_cycles: int = 1000, mode: str = "outcome"
+    seeds, n_cycles: int = 1000, mode: str = "outcome",
+    engine_backend: str = "numpy",
 ) -> BucketOutcome:
     """Cross-validate one same-shape bucket of seeds tensorized.
 
@@ -664,14 +701,17 @@ def validate_bucket(
     stats: dict = {}
     tracer = current_tracer()
     if tracer is None:
-        divergences = cross_validate_bucket(scenarios, mode, stats=stats)
+        divergences = cross_validate_bucket(
+            scenarios, mode, stats=stats, engine_backend=engine_backend
+        )
     else:
         with tracer.span(
             "engine_run", kind="engine-run",
             scenarios=len(scenarios), n_cycles=n_cycles, engine="tensor",
         ) as sp:
             divergences = cross_validate_bucket(
-                scenarios, mode, stats=stats, tracer=tracer
+                scenarios, mode, stats=stats, tracer=tracer,
+                engine_backend=engine_backend,
             )
             # Fast-forward attribution: bulk-skipped idle cycles are a
             # pure function of the workload, so they are canonical tags.
@@ -702,14 +742,16 @@ def validate_bucket(
 
 
 def _scenario_cache_payload(
-    seed: int, n_cycles: int, mode: str, engine: str = "batch"
+    seed: int, n_cycles: int, mode: str, engine: str = "batch",
+    engine_backend: str = "numpy",
 ) -> dict:
     """Canonical cache-key payload: the *resolved* scenario config.
 
     Keyed on the full derived scenario (not just the seed) plus the
-    engine pair and comparison mode, so a generator change that alters
-    what a seed means invalidates its cache entry — and tensor-path
-    results never collide with cached sequential-path entries.  The
+    engine pair, comparison mode and array backend, so a generator
+    change that alters what a seed means invalidates its cache entry —
+    and tensor-path results never collide with cached sequential-path
+    entries, nor one backend's passes with another's.  The
     package-version/schema token is folded in by
     :class:`~repro.runner.cache.ResultCache`.
     """
@@ -717,6 +759,7 @@ def _scenario_cache_payload(
     return {
         "mode": mode,
         "engines": ["reference", engine],
+        "engine_backend": engine_backend,
         "scenario": {
             "seed": scenario.seed,
             "n_slots": scenario.n_slots,
@@ -860,6 +903,7 @@ def _tensor_campaign(
     cache_dir,
     use_cache: bool,
     tracer: SpanTracer | None = None,
+    engine_backend: str = "numpy",
 ) -> CampaignResult:
     """Bucketed tensor-engine campaign body (see :func:`campaign`).
 
@@ -883,7 +927,10 @@ def _tensor_campaign(
 
     def payload_key(seed: int) -> str:
         return cache.key(
-            _scenario_cache_payload(seed, n_cycles, mode, engine="tensor")
+            _scenario_cache_payload(
+                seed, n_cycles, mode, engine="tensor",
+                engine_backend=engine_backend,
+            )
         )
 
     def prepass() -> list[tuple[int, ...]]:
@@ -921,7 +968,7 @@ def _tensor_campaign(
         validate_bucket,
         items,
         workers=workers,
-        task_args=(n_cycles, mode),
+        task_args=(n_cycles, mode, engine_backend),
         tracer=tracer,
         span_name="bucket",
         span_kind="bucket",
@@ -966,6 +1013,7 @@ def campaign(
     cache_dir=None,
     use_cache: bool = True,
     tracer: SpanTracer | None = None,
+    engine_backend: str = "numpy",
     _task=None,
 ) -> CampaignResult:
     """Cross-validate one scenario per seed; aggregate coverage + failures.
@@ -981,6 +1029,13 @@ def campaign(
     ``(S, N)`` evaluation (:func:`validate_bucket`), sharding whole
     buckets across workers.  Both produce byte-identical merged
     summaries when every seed passes.
+
+    ``engine_backend`` selects the tensor engine's array namespace
+    (:mod:`repro.core.backend`: ``numpy``/``torch``/``cupy``/
+    ``array_api_strict``); every backend must reproduce the NumPy
+    reference byte-for-byte, so a passing campaign is the portability
+    proof for that backend.  Non-tensor engines reject any value other
+    than ``"numpy"``.
 
     ``workers`` shards the workload across processes
     (:func:`repro.runner.run_sharded`; ``0``/``None`` = all cores) —
@@ -1007,6 +1062,10 @@ def campaign(
         raise ValueError(f"unknown campaign mode {mode!r}")
     if engine not in ("batch", "tensor"):
         raise ValueError(f"unknown campaign engine {engine!r}")
+    if engine != "tensor" and engine_backend != "numpy":
+        raise ValueError(
+            f"engine_backend={engine_backend!r} requires engine='tensor'"
+        )
     seeds = list(seeds)
     if tracer is not None:
         with tracer.span(
@@ -1015,11 +1074,11 @@ def campaign(
         ), activate_tracer(tracer):
             return _campaign_body(
                 seeds, n_cycles, stop_on_divergence, mode, engine,
-                workers, cache_dir, use_cache, tracer, _task,
+                workers, cache_dir, use_cache, tracer, engine_backend, _task,
             )
     return _campaign_body(
         seeds, n_cycles, stop_on_divergence, mode, engine,
-        workers, cache_dir, use_cache, None, _task,
+        workers, cache_dir, use_cache, None, engine_backend, _task,
     )
 
 
@@ -1033,12 +1092,13 @@ def _campaign_body(
     cache_dir,
     use_cache: bool,
     tracer: SpanTracer | None,
+    engine_backend: str,
     _task,
 ) -> CampaignResult:
     result = CampaignResult(mode=mode, n_cycles=n_cycles, engine=engine)
     if stop_on_divergence:
         for seed in seeds:
-            outcome = validate_seed(seed, n_cycles, mode, engine)
+            outcome = validate_seed(seed, n_cycles, mode, engine, engine_backend)
             _fold_outcome(result, outcome)
             result.executed += 1
             if outcome.divergence is not None:
@@ -1047,7 +1107,7 @@ def _campaign_body(
     if engine == "tensor" and _task is None:
         return _tensor_campaign(
             seeds, result, n_cycles, mode, workers, cache_dir, use_cache,
-            tracer,
+            tracer, engine_backend,
         )
 
     from repro.runner import ResultCache, run_sharded
@@ -1422,6 +1482,14 @@ def main(argv=None) -> int:  # pragma: no cover - CLI convenience
         "merged summaries when every seed passes)",
     )
     parser.add_argument(
+        "--engine-backend",
+        choices=BACKENDS,
+        default="numpy",
+        help="array namespace for the tensor engine "
+        "(repro.core.backend); requires --engine tensor for any "
+        "value other than numpy",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -1459,10 +1527,12 @@ def main(argv=None) -> int:  # pragma: no cover - CLI convenience
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        engine_backend=args.engine_backend,
     )
     elapsed = time.perf_counter() - start
     print(
-        f"{mode} mode ({args.engine} engine): "
+        f"{mode} mode ({args.engine} engine, "
+        f"{args.engine_backend} backend): "
         f"{result.scenarios} scenarios, "
         f"{len(result.divergences)} divergences, "
         f"routings={sorted(r.value for r in result.routings)}, "

@@ -33,6 +33,17 @@ cycles where a decision can actually differ from "nothing happened".
 :class:`BatchScheduler` (``make_scheduler(..., engine="tensor")``)
 backed by a one-row campaign, cross-validated cycle-by-cycle by
 :mod:`repro.core.differential` like every other engine.
+
+Every batched kernel dispatches through an
+:class:`~repro.core.backend.ArrayApiBackend`
+(``engine_backend="numpy"|"torch"|"cupy"|"array_api_strict"``), so the
+``(S, N)`` state can live on whichever array library/device the caller
+selects; all observables are byte-identical across backends (the
+determinism contract in :mod:`repro.core.backend`).  The Table 2 rank
+cascade runs as :func:`table2_rank_order` — a packed-integer-key stable
+composite sort, permutation-identical to the historical
+``numpy.lexsort`` formulation because the cascade's final ``sid`` key
+makes the order total.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from collections import deque
 import numpy as np
 
 from repro.core.attributes import SchedulingMode, StreamConfig
+from repro.core.backend import ArrayApiBackend, resolve_backend
 from repro.core.batch_engine import (
     _ARR_HALF,
     _ARR_MASK,
@@ -63,9 +75,86 @@ from repro.core.register_block import PendingPacket, SlotCounters
 from repro.core.scheduler import DecisionOutcome
 from repro.observability.hooks import resolve_observer
 
-__all__ = ["CampaignEngine", "TensorScheduler", "TensorSlotView"]
+__all__ = [
+    "CampaignEngine",
+    "TensorScheduler",
+    "TensorSlotView",
+    "table2_rank_order",
+]
 
 _EDF = _MODE_CODE[SchedulingMode.EDF]
+
+#: Fixed-point scale for the window-constraint ratio key.  ``x`` and
+#: ``y`` are 8-bit fields, so two distinct ratios differ by at least
+#: ``1/(255*255) = 1/65025``; scaling by ``2**16 = 65536`` stretches
+#: every such gap past 1, making ``(x << 16) // y`` *order-exact*:
+#: floored keys compare identically to the exact rationals (and equal
+#: rationals floor to equal keys).  This replaces the float ``x / y``
+#: lexsort key with an integer one that sorts identically on every
+#: backend.
+_WC_SHIFT = 16
+
+#: int64 sentinel larger than any release boundary (idle fast-forward).
+_FAR_FUTURE = 2**62
+
+
+def table2_rank_order(
+    bk: ArrayApiBackend,
+    *,
+    invalid,
+    dl,
+    arr,
+    x=None,
+    y=None,
+    deadline_only: bool = False,
+):
+    """Backend-portable Table 2 rank cascade over the last axis.
+
+    Produces the exact permutation of::
+
+        np.lexsort((sid, arr, num_key, den_key, wc, dl, invalid))
+
+    (or ``np.lexsort((sid, arr, dl, invalid))`` when ``deadline_only``)
+    without ``lexsort``, which has no array API equivalent.  The
+    cascade runs as stable argsort passes from least- to
+    most-significant key; the three bounded window-constraint keys
+    (ratio, denominator, numerator — 8-bit fields) pack into one
+    integer word so the full cascade costs at most three passes on top
+    of the implicit slot-order (``sid``) base case.  Because ``sid`` is
+    unique per scenario the order is total, so any correct sort yields
+    the *identical* permutation — byte-identity with the historical
+    NumPy path holds by construction and is asserted by the hypothesis
+    equivalence suite.
+
+    All operands are ``(S, N)`` backend arrays: ``invalid`` bool (sorts
+    loaded-and-pending slots first), ``dl``/``arr`` rebased int64
+    deadline/arrival keys, ``x``/``y`` the live window-constraint
+    counters (ignored when ``deadline_only``).
+    """
+    # Base case: the identity order along the slot axis IS the sid key,
+    # and every later pass is stable, so ties keep ascending sid.
+    order = bk.argsort_stable(arr)
+    if not deadline_only:
+        zero_wc = (x == 0) | (y == 0)
+        wc_key = bk.where(
+            zero_wc, 0, (x << _WC_SHIFT) // bk.where(y == 0, 1, y)
+        )
+        # den key is -y for zero-ratio slots, else 0; shift by +255 so
+        # it packs as an unsigned 8-bit lane (order is translation-
+        # invariant).  num key is x for live-ratio slots, else 0.
+        den_key = bk.where(zero_wc, 255 - y, 255)
+        num_key = bk.where(zero_wc, 0, x)
+        packed = (wc_key << 16) | (den_key << 8) | num_key
+        order = bk.take_along_last(
+            order, bk.argsort_stable(bk.take_along_last(packed, order))
+        )
+    order = bk.take_along_last(
+        order, bk.argsort_stable(bk.take_along_last(dl, order))
+    )
+    inv = bk.astype(invalid, bk.int64)
+    return bk.take_along_last(
+        order, bk.argsort_stable(bk.take_along_last(inv, order))
+    )
 
 
 def _per_scenario(value, n_scenarios: int, name: str) -> list:
@@ -148,6 +237,13 @@ class CampaignEngine:
         via :meth:`phase_report`.  Disabled (default) the per-cycle cost
         is a single ``is not None`` check per phase boundary, matching
         the observer-hook contract.
+    engine_backend:
+        Array library the ``(S, N)`` state and batched kernels run on —
+        a :mod:`repro.core.backend` name (``"numpy"`` default,
+        ``"torch"``, ``"cupy"``, ``"array_api_strict"``) or a
+        pre-built :class:`~repro.core.backend.ArrayApiBackend`.
+        Resolved lazily, so optional libraries stay optional; every
+        backend produces byte-identical observables.
     """
 
     def __init__(
@@ -159,6 +255,7 @@ class CampaignEngine:
         observers=None,
         trace_timeline: bool = False,
         profile_phases: bool = False,
+        engine_backend: str | ArrayApiBackend = "numpy",
     ) -> None:
         if stream_lists is None:
             if n_scenarios is None:
@@ -185,37 +282,41 @@ class CampaignEngine:
         self._n = n
         self._wrap = config.wrap
         self._deadline_only = config.deadline_only
+        bk = resolve_backend(engine_backend)
+        self._b = bk
+        self.engine_backend = bk.name
 
         shape = (s_count, n)
+        i64, boo = bk.int64, bk.bool_
         # -- per-(scenario, slot) state, mirroring BatchScheduler --
         self._configs: list[list[StreamConfig | None]] = [
             [None] * n for _ in range(s_count)
         ]
-        self._loaded = np.zeros(shape, dtype=bool)
-        self._has_head = np.zeros(shape, dtype=bool)
-        self._attr_deadline = np.zeros(shape, dtype=np.int64)
-        self._attr_arrival = np.zeros(shape, dtype=np.int64)
-        self._x = np.zeros(shape, dtype=np.int64)
-        self._y = np.zeros(shape, dtype=np.int64)
-        self._cfg_x = np.zeros(shape, dtype=np.int64)
-        self._cfg_y = np.zeros(shape, dtype=np.int64)
-        self._head_deadline = np.zeros(shape, dtype=np.int64)
-        self._head_arrival = np.zeros(shape, dtype=np.int64)
-        self._head_length = np.zeros(shape, dtype=np.int64)
-        self._edf_bias = np.zeros(shape, dtype=np.int64)
-        self._period = np.ones(shape, dtype=np.int64)
-        self._init_deadline = np.zeros(shape, dtype=np.int64)
-        self._mode = np.full(shape, _MODE_CODE[SchedulingMode.DWCS], np.int64)
-        self._dwcs_like = np.zeros(shape, dtype=bool)
-        self._sid2d = np.broadcast_to(np.arange(n, dtype=np.int64), shape)
+        self._loaded = bk.zeros(shape, boo)
+        self._has_head = bk.zeros(shape, boo)
+        self._attr_deadline = bk.zeros(shape, i64)
+        self._attr_arrival = bk.zeros(shape, i64)
+        self._x = bk.zeros(shape, i64)
+        self._y = bk.zeros(shape, i64)
+        self._cfg_x = bk.zeros(shape, i64)
+        self._cfg_y = bk.zeros(shape, i64)
+        self._head_deadline = bk.zeros(shape, i64)
+        self._head_arrival = bk.zeros(shape, i64)
+        self._head_length = bk.zeros(shape, i64)
+        self._edf_bias = bk.zeros(shape, i64)
+        self._period = bk.ones(shape, i64)
+        self._init_deadline = bk.zeros(shape, i64)
+        self._mode = bk.full(shape, _MODE_CODE[SchedulingMode.DWCS], i64)
+        self._dwcs_like = bk.zeros(shape, boo)
+        self._iota = bk.arange(n)
 
         # -- performance counters --
-        self._wins = np.zeros(shape, dtype=np.int64)
-        self._serviced = np.zeros(shape, dtype=np.int64)
-        self._missed = np.zeros(shape, dtype=np.int64)
-        self._violations = np.zeros(shape, dtype=np.int64)
-        self._window_resets = np.zeros(shape, dtype=np.int64)
-        self._loads = np.zeros(shape, dtype=np.int64)
+        self._wins = bk.zeros(shape, i64)
+        self._serviced = bk.zeros(shape, i64)
+        self._missed = bk.zeros(shape, i64)
+        self._violations = bk.zeros(shape, i64)
+        self._window_resets = bk.zeros(shape, i64)
+        self._loads = bk.zeros(shape, i64)
         self._fast_forwarded = 0  # idle decision cycles skipped in bulk
         #: phase -> [calls, wall seconds]; None = accounting disabled.
         self._phase_profile: dict[str, list] | None = (
@@ -234,9 +335,29 @@ class CampaignEngine:
         ]
 
         # -- network geometry (memoized, shared across engines) --
-        self._shuffle = build_shuffle_permutation(n)
+        self._shuffle = bk.from_numpy(build_shuffle_permutation(n))
         self._log2n = n.bit_length() - 1
         self._bitonic_passes = build_bitonic_passes(n)
+        # Per-position replay vectors: the pass geometry re-expressed as
+        # full-width gathers (no strided/fancy writeback) so one
+        # compare-exchange pass is pure take/where on any backend.
+        # ``partner_full[j]`` is j's compare partner; ``gt_full[j]`` is
+        # True where j takes the partner's value on ``rank[j] >
+        # rank[partner]`` (ascending lane member), False where the
+        # condition is ``<`` — i.e. ``asc == (j is the pair's low
+        # index)``.
+        pass_vectors = []
+        for idx, partner, asc in self._bitonic_passes:
+            partner_full = np.empty(n, dtype=np.int64)
+            partner_full[idx] = partner
+            partner_full[partner] = idx
+            gt_full = np.empty(n, dtype=bool)
+            gt_full[idx] = asc
+            gt_full[partner] = ~asc
+            pass_vectors.append(
+                (bk.from_numpy(partner_full), bk.from_numpy(gt_full))
+            )
+        self._bitonic_pass_vectors = tuple(pass_vectors)
 
         for s, streams in enumerate(stream_lists):
             if streams:
@@ -396,72 +517,65 @@ class CampaignEngine:
     # SCHEDULE phase: rank + network emulation, batched over scenarios
     # ------------------------------------------------------------------
 
-    def _rank(
-        self,
-        now: int,
-        valid: np.ndarray,
-        attr_dl: np.ndarray,
-        attr_arr: np.ndarray,
-        x: np.ndarray,
-        y: np.ndarray,
-    ) -> np.ndarray:
+    def _rank(self, now: int, valid, attr_dl, attr_arr, x, y):
         """``(S, N)`` slot orders, highest-priority-first per scenario.
 
-        One :func:`numpy.lexsort` over the Table 2 key cascade ranks
-        *every scenario in the campaign* in a single call — the keys
-        are ``(S, N)`` and the sort runs along the last axis.
+        One :func:`table2_rank_order` composite stable sort over the
+        Table 2 key cascade ranks *every scenario in the campaign* in a
+        single call — the keys are ``(S, N)`` and the sort runs along
+        the last axis, on whichever backend holds the state.
         """
+        bk = self._b
         if self._wrap:
             dl = (attr_dl - now) & _DL_MASK
-            dl = dl - (_DL_MOD * (dl >= _DL_HALF))
+            dl = bk.where(dl >= _DL_HALF, dl - _DL_MOD, dl)
             arr = (attr_arr - now) & _ARR_MASK
-            arr = arr - (_ARR_MOD * (arr >= _ARR_HALF))
+            arr = bk.where(arr >= _ARR_HALF, arr - _ARR_MOD, arr)
         else:
             dl = attr_dl
             arr = attr_arr
-        invalid = ~valid
-        sid = self._sid2d
-        if self._deadline_only:
-            return np.lexsort((sid, arr, dl, invalid), axis=-1)
-        zero_wc = (x == 0) | (y == 0)
-        wc = np.where(zero_wc, 0.0, x / np.where(y == 0, 1, y))
-        den_key = np.where(zero_wc, -y, 0)
-        num_key = np.where(zero_wc, 0, x)
-        return np.lexsort(
-            (sid, arr, num_key, den_key, wc, dl, invalid), axis=-1
+        return table2_rank_order(
+            bk,
+            invalid=~valid,
+            dl=dl,
+            arr=arr,
+            x=x,
+            y=y,
+            deadline_only=self._deadline_only,
         )
 
-    def _emit_positions(self, order: np.ndarray) -> np.ndarray:
+    def _emit_positions(self, order):
         """``(S, N)`` slot IDs in emitted network-position order.
 
         Replays the compare-exchange network on the per-scenario rank
-        arrays; each pass's index/partner geometry broadcasts across the
-        scenario axis, so S networks advance per array op.
+        arrays; each pass's per-position partner/direction geometry
+        broadcasts across the scenario axis, so S networks advance per
+        array op.  Expressed entirely as gathers + ``where`` (no
+        scatter writeback), so the replay is backend-portable.
         """
+        bk = self._b
         s_count, n = order.shape
-        rank = np.empty_like(order)
-        np.put_along_axis(rank, order, self._sid2d, axis=1)
-        state = np.tile(np.arange(n, dtype=np.int64), (s_count, 1))
+        # order is a permutation per row, so its argsort IS the inverse
+        # permutation: rank[sid] = network position of that slot.
+        rank = bk.argsort_stable(order)
+        state = bk.broadcast_to(self._iota, (s_count, n))
         if self.config.schedule == "bitonic":
-            for idx, partner, asc in self._bitonic_passes:
-                wi = state[:, idx]
-                wp = state[:, partner]
-                ri = np.take_along_axis(rank, wi, axis=1)
-                rp = np.take_along_axis(rank, wp, axis=1)
-                swap = np.where(asc, ri > rp, ri < rp)
-                state[:, idx] = np.where(swap, wp, wi)
-                state[:, partner] = np.where(swap, wi, wp)
+            for partner_full, gt_full in self._bitonic_pass_vectors:
+                st_p = bk.take(state, partner_full, axis=1)
+                r_s = bk.take_along_last(rank, state)
+                r_p = bk.take_along_last(rank, st_p)
+                take = bk.where(gt_full, r_s > r_p, r_s < r_p)
+                state = bk.where(take, st_p, state)
         else:
             for _ in range(self._log2n):
-                state = state[:, self._shuffle]
-                r = np.take_along_axis(rank, state, axis=1)
+                state = bk.take(state, self._shuffle, axis=1)
+                r = bk.take_along_last(rank, state)
                 a = state[:, 0::2]
                 b = state[:, 1::2]
                 swap = r[:, 0::2] > r[:, 1::2]
-                lo = np.where(swap, b, a)
-                hi = np.where(swap, a, b)
-                state[:, 0::2] = lo
-                state[:, 1::2] = hi
+                lo = bk.where(swap, b, a)
+                hi = bk.where(swap, a, b)
+                state = bk.interleave_pairs(lo, hi)
         return state
 
     @property
@@ -474,58 +588,67 @@ class CampaignEngine:
     # batched miss registration and window updates
     # ------------------------------------------------------------------
 
-    def _register_misses(self, late: np.ndarray) -> None:
-        """Vectorized miss path over all late heads in all scenarios."""
-        self._missed[late] += 1
+    def _register_misses(self, late) -> None:
+        """Vectorized miss path over all late heads in all scenarios.
+
+        Full-array masked rebinds (no boolean-scatter writes), so the
+        kernel runs unchanged on every backend.
+        """
+        bk = self._b
+        self._missed = bk.where(late, self._missed + 1, self._missed)
         dwcs = late & self._dwcs_like
-        if not dwcs.any():
+        if not bk.any(dwcs):
             return
         x, y = self._x, self._y
         has_loss = dwcs & (x > 0)
-        x[has_loss] -= 1
-        dec_y = has_loss & (y > 0)
-        y[dec_y] -= 1
+        x = bk.where(has_loss, x - 1, x)
+        y = bk.where(has_loss & (y > 0), y - 1, y)
         reset = has_loss & ((y == 0) | (x == y))
-        x[reset] = self._cfg_x[reset]
-        y[reset] = self._cfg_y[reset]
-        self._window_resets[reset] += 1
         violated = dwcs & ~has_loss
-        self._violations[violated] += 1
-        y[violated] = np.minimum(y[violated] + 1, _Y_MAX)
+        y = bk.where(violated, bk.minimum(y + 1, _Y_MAX), y)
+        self._x = bk.where(reset, self._cfg_x, x)
+        self._y = bk.where(reset, self._cfg_y, y)
+        self._window_resets = bk.where(
+            reset, self._window_resets + 1, self._window_resets
+        )
+        self._violations = bk.where(
+            violated, self._violations + 1, self._violations
+        )
 
-    def _win_update_at(self, rows: np.ndarray, cols: np.ndarray) -> None:
-        """Batched win update at distinct ``(scenario, slot)`` pairs.
+    def _win_update_mask(self, sel) -> None:
+        """Batched win update at the ``(S, N)`` mask's set positions.
 
-        Callers pass at most one winner per scenario row, so the
-        scatter writes never collide.
+        Callers select at most one winner per scenario row (a one-hot
+        row mask), mirroring the reference engine's per-slot update.
         """
-        x = self._x[rows, cols]
-        y = self._y[rows, cols]
-        y = np.where(y > 0, y - 1, y)
-        reset = (y == 0) | (y <= x)
-        self._y[rows, cols] = y
-        rr, cc = rows[reset], cols[reset]
-        self._x[rr, cc] = self._cfg_x[rr, cc]
-        self._y[rr, cc] = self._cfg_y[rr, cc]
-        self._window_resets[rr, cc] += 1
+        bk = self._b
+        x, y = self._x, self._y
+        y = bk.where(sel & (y > 0), y - 1, y)
+        reset = sel & ((y == 0) | (y <= x))
+        self._x = bk.where(reset, self._cfg_x, x)
+        self._y = bk.where(reset, self._cfg_y, y)
+        self._window_resets = bk.where(
+            reset, self._window_resets + 1, self._window_resets
+        )
 
-    def _loss_update_at(self, rows: np.ndarray, cols: np.ndarray) -> None:
-        """Batched loss update at distinct ``(scenario, slot)`` pairs."""
-        x = self._x[rows, cols]
-        y = self._y[rows, cols]
-        has_loss = x > 0
-        nx = np.where(has_loss, x - 1, x)
-        ny = np.where(has_loss & (y > 0), y - 1, y)
+    def _loss_update_mask(self, sel) -> None:
+        """Batched loss update at the ``(S, N)`` mask's set positions."""
+        bk = self._b
+        x, y = self._x, self._y
+        has_loss = sel & (x > 0)
+        nx = bk.where(has_loss, x - 1, x)
+        ny = bk.where(has_loss & (y > 0), y - 1, y)
         reset = has_loss & ((ny == 0) | (nx == ny))
-        violated = ~has_loss
-        ny = np.where(violated, np.minimum(ny + 1, _Y_MAX), ny)
-        self._x[rows, cols] = nx
-        self._y[rows, cols] = ny
-        rr, cc = rows[reset], cols[reset]
-        self._x[rr, cc] = self._cfg_x[rr, cc]
-        self._y[rr, cc] = self._cfg_y[rr, cc]
-        self._window_resets[rr, cc] += 1
-        self._violations[rows[violated], cols[violated]] += 1
+        violated = sel & ~has_loss
+        ny = bk.where(violated, bk.minimum(ny + 1, _Y_MAX), ny)
+        self._x = bk.where(reset, self._cfg_x, nx)
+        self._y = bk.where(reset, self._cfg_y, ny)
+        self._window_resets = bk.where(
+            reset, self._window_resets + 1, self._window_resets
+        )
+        self._violations = bk.where(
+            violated, self._violations + 1, self._violations
+        )
 
     # ------------------------------------------------------------------
     # decision cycle (SCHEDULE + PRIORITY_UPDATE), lockstep over S
@@ -566,8 +689,9 @@ class CampaignEngine:
         for s in range(s_count):
             if not drop_s[s]:
                 continue
-            for i in np.nonzero(self._loaded[s])[0]:
-                i = int(i)
+            for i, cfg in enumerate(self._configs[s]):
+                if cfg is None:
+                    continue
                 while True:
                     if count_s[s] and self._head_is_late(s, i, now):
                         self._record_miss(s, i, now)
@@ -584,22 +708,27 @@ class CampaignEngine:
                     )
 
         # SCHEDULE: one rank + one network replay for all scenarios.
+        bk = self._b
         valid = self._has_head & self._loaded
         rank_order = self._rank(
             now, valid, self._attr_deadline, self._attr_arrival,
             self._x, self._y,
         )
         if self.config.winner_only:
-            winners = rank_order[:, 0]
+            winners = bk.to_numpy(rank_order[:, 0])
+            valid_np = bk.to_numpy(valid)
             orders = [
-                [int(w)] if valid[s, w] else []
+                [int(w)] if valid_np[s, w] else []
                 for s, w in enumerate(winners)
             ]
         else:
             emitted = self._emit_positions(rank_order)
-            emitted_valid = np.take_along_axis(valid, emitted, axis=1)
+            emitted_np = np.asarray(bk.to_numpy(emitted))
+            emitted_valid_np = np.asarray(
+                bk.to_numpy(bk.take_along_last(valid, emitted))
+            )
             orders = [
-                emitted[s][emitted_valid[s]].tolist()
+                emitted_np[s][emitted_valid_np[s]].tolist()
                 for s in range(s_count)
             ]
         passes = self._schedule_passes
@@ -616,13 +745,13 @@ class CampaignEngine:
             late = valid & (diff >= _DL_HALF)
         else:
             late = valid & (self._head_deadline < now)
-        counting = np.asarray(count_s, dtype=bool)
+        counting = bk.asarray(count_s, dtype=bk.bool_)
         counted_late = late & counting[:, None]
         misses = [[] for _ in range(s_count)]
-        if counted_late.any():
-            miss_rows = counted_late.any(axis=1)
-            for s in np.nonzero(miss_rows)[0]:
-                misses[int(s)] = np.nonzero(counted_late[s])[0].tolist()
+        if bk.any(counted_late):
+            counted_np = np.asarray(bk.to_numpy(counted_late))
+            for s in np.nonzero(counted_np.any(axis=1))[0]:
+                misses[int(s)] = np.nonzero(counted_np[s])[0].tolist()
             self._register_misses(counted_late)
 
         # PRIORITY_UPDATE: per-scenario circulate/consume (queue-backed,
@@ -774,32 +903,37 @@ class CampaignEngine:
                 "block consumption requires BA routing "
                 "(WR emits only the winner)"
             )
+        bk = self._b
         s_count, n = self.n_scenarios, self._n
         shape = (s_count, n)
         loaded = self._loaded
         if offsets is None:
-            offs = np.where(loaded, self._init_deadline, 0)
+            offs = bk.where(loaded, self._init_deadline, 0)
         else:
-            offs = np.broadcast_to(
-                np.asarray(offsets, dtype=np.int64), shape
-            ).copy()
+            offs = bk.from_numpy(
+                np.ascontiguousarray(
+                    np.broadcast_to(np.asarray(offsets, dtype=np.int64), shape)
+                )
+            )
         if step is None:
-            steps = self._period.copy()
+            steps = self._period
         else:
-            steps = np.broadcast_to(
-                np.asarray(step, dtype=np.int64), shape
-            ).copy()
+            steps = bk.from_numpy(
+                np.ascontiguousarray(
+                    np.broadcast_to(np.asarray(step, dtype=np.int64), shape)
+                )
+            )
         if stride is None:
-            strides = np.ones(shape, dtype=np.int64)
+            strides = None
         else:
-            strides = np.broadcast_to(
+            strides_np = np.broadcast_to(
                 np.asarray(stride, dtype=np.int64), shape
-            ).copy()
-            if (strides < 1).any():
+            )
+            if (strides_np < 1).any():
                 raise ValueError("stride must be >= 1")
+            strides = bk.from_numpy(np.ascontiguousarray(strides_np))
 
-        consumed = np.zeros(shape, dtype=np.int64)
-        bias = self._edf_bias
+        consumed = bk.zeros(shape, bk.int64)
         edf = self._mode == _EDF
         max_first = self.config.block_mode is BlockMode.MAX_FIRST
         winner_only = self.config.winner_only
@@ -809,16 +943,25 @@ class CampaignEngine:
             else None
         )
         update_cycles = self.config.update_cycles
-        srange = np.arange(s_count)
+        iota = self._iota
+        have_streams = bk.any(loaded)
+
+        def gather_col(array2d, cols):
+            """Per-scenario column gather: ``array2d[s, cols[s]]``."""
+            return bk.take_along_last(array2d, cols[:, None])[:, 0]
+
         t = 0
         while t < n_cycles:
-            avail = consumed * strides
+            avail = consumed if strides is None else consumed * strides
             valid = loaded & (avail <= t)
-            active = valid.any(axis=1)
-            if not active.any():
+            active = bk.any_along_last(valid)
+            if not bk.any(active):
                 if fast_forward:
-                    pending = avail[loaded]
-                    nxt = int(pending.min()) if pending.size else n_cycles
+                    nxt = (
+                        bk.min_int(bk.where(loaded, avail, _FAR_FUTURE))
+                        if have_streams
+                        else n_cycles
+                    )
                     nxt = min(max(nxt, t + 1), n_cycles)
                     self.advance_idle(nxt - t)
                     t = nxt
@@ -832,10 +975,10 @@ class CampaignEngine:
                     t += 1
                 continue
             real_dl = offs + consumed * steps
-            attr_dl = real_dl + np.where(edf, bias, 0)
+            attr_dl = real_dl + bk.where(edf, self._edf_bias, 0)
             order = self._rank(t, valid, attr_dl, consumed, self._x, self._y)
             late = valid & (real_dl < t)
-            if count_misses and late.any():
+            if count_misses and bk.any(late):
                 self._register_misses(late)
             # Emitted block head / tail selection, one per scenario.
             w = order[:, 0]
@@ -843,62 +986,77 @@ class CampaignEngine:
                 circulated = w
             else:
                 emitted = self._emit_positions(order)
-                emitted_valid = np.take_along_axis(valid, emitted, axis=1)
+                emitted_valid = bk.take_along_last(valid, emitted)
                 # Last valid network position per scenario (block tail).
-                last = n - 1 - np.argmax(emitted_valid[:, ::-1], axis=1)
-                circulated = emitted[srange, last]
-            rows = np.nonzero(active)[0]
-            cols = circulated[rows]
+                last = (n - 1) - bk.argmax_last(bk.flip_last(emitted_valid))
+                circulated = gather_col(emitted, last)
+            # One-hot circulated-winner mask over active scenarios; all
+            # per-cycle updates below are full-array masked rebinds, so
+            # the loop body is pure backend ops (no scatter indexing).
+            onehot = iota[None, :] == circulated[:, None]
+            sel = active[:, None] & onehot
             if consume == "winner":
-                late_c = late[rows, cols]
-                dw = self._dwcs_like[rows, cols]
-                edf_c = edf[rows, cols]
+                late_c = gather_col(late, circulated) & active
+                dw = gather_col(self._dwcs_like, circulated) & active
+                edf_c = gather_col(edf, circulated) & active
                 if count_misses:
                     # Late winners already took the miss-path loss
                     # update; only on-time winners get the win update.
                     win_mask = dw & ~late_c
-                    loss_mask = np.zeros_like(late_c)
+                    loss_mask = None
                     edf_mask = edf_c & ~late_c
                 else:
                     win_mask = dw & ~late_c
                     loss_mask = dw & late_c
                     edf_mask = edf_c
-                if win_mask.any():
-                    self._win_update_at(rows[win_mask], cols[win_mask])
-                if loss_mask.any():
-                    self._loss_update_at(rows[loss_mask], cols[loss_mask])
-                if edf_mask.any():
-                    er, ec = rows[edf_mask], cols[edf_mask]
-                    bias[er, ec] += steps[er, ec]
-                self._serviced[rows, cols] += 1
-                consumed[rows, cols] += 1
+                if bk.any(win_mask):
+                    self._win_update_mask(win_mask[:, None] & onehot)
+                if loss_mask is not None and bk.any(loss_mask):
+                    self._loss_update_mask(loss_mask[:, None] & onehot)
+                if bk.any(edf_mask):
+                    edf_sel = edf_mask[:, None] & onehot
+                    self._edf_bias = bk.where(
+                        edf_sel, self._edf_bias + steps, self._edf_bias
+                    )
+                self._serviced = bk.where(sel, self._serviced + 1, self._serviced)
+                consumed = bk.where(sel, consumed + 1, consumed)
             else:  # block: every valid head consumed this cycle
-                hr, hc = rows, w[rows]
-                dw = self._dwcs_like[hr, hc]
-                edf_c = edf[hr, hc]
-                if dw.any():
-                    self._win_update_at(hr[dw], hc[dw])
-                if edf_c.any():
-                    er, ec = hr[edf_c], hc[edf_c]
-                    bias[er, ec] += steps[er, ec]
-                self._serviced[valid] += 1
-                consumed[valid] += 1
-            self._wins[rows, cols] += 1
+                head_sel = active[:, None] & (iota[None, :] == w[:, None])
+                dw_sel = head_sel & self._dwcs_like
+                if bk.any(dw_sel):
+                    self._win_update_mask(dw_sel)
+                edf_sel = head_sel & edf
+                if bk.any(edf_sel):
+                    self._edf_bias = bk.where(
+                        edf_sel, self._edf_bias + steps, self._edf_bias
+                    )
+                self._serviced = bk.where(
+                    valid, self._serviced + 1, self._serviced
+                )
+                consumed = bk.where(valid, consumed + 1, consumed)
+            self._wins = bk.where(sel, self._wins + 1, self._wins)
             if winners is not None:
-                winners[rows, t] = cols
+                active_np = np.asarray(bk.to_numpy(active))
+                winners[active_np, t] = np.asarray(bk.to_numpy(circulated))[
+                    active_np
+                ]
             self.control.schedule(self._schedule_passes, detail=f"t={t}")
             self.control.priority_update(
                 update_cycles, detail="circulate=<campaign>"
             )
             t += 1
+        loaded_np = np.asarray(bk.to_numpy(loaded))
+        wins_np = np.asarray(bk.to_numpy(self._wins))
+        missed_np = np.asarray(bk.to_numpy(self._missed))
+        serviced_np = np.asarray(bk.to_numpy(self._serviced))
         return [
             PeriodicRunResult(
-                n_streams=int(loaded[s].sum()),
+                n_streams=int(loaded_np[s].sum()),
                 decision_cycles=n_cycles,
-                wins=self._wins[s].copy(),
-                misses=self._missed[s].copy(),
-                serviced=self._serviced[s].copy(),
-                frames_scheduled=int(self._serviced[s].sum()),
+                wins=wins_np[s].copy(),
+                misses=missed_np[s].copy(),
+                serviced=serviced_np[s].copy(),
+                frames_scheduled=int(serviced_np[s].sum()),
                 winners=winners[s].copy() if winners is not None else None,
             )
             for s in range(s_count)
@@ -970,6 +1128,7 @@ class TensorScheduler:
         trace_timeline: bool = False,
         trace=None,
         observer=None,
+        engine_backend: str | ArrayApiBackend = "numpy",
     ) -> None:
         self.config = config
         self.trace = trace
@@ -980,8 +1139,10 @@ class TensorScheduler:
             [list(streams) if streams else None],
             observers=[self.observer] if self.observer is not None else None,
             trace_timeline=trace_timeline,
+            engine_backend=engine_backend,
         )
         self.control = self._engine.control
+        self.engine_backend = self._engine.engine_backend
 
     @property
     def engine(self) -> CampaignEngine:

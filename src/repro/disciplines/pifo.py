@@ -710,7 +710,8 @@ class PifoCampaignFrontend:
     """
 
     def __init__(
-        self, fn: RankFunction, scenarios: Sequence[PifoScenario]
+        self, fn: RankFunction, scenarios: Sequence[PifoScenario],
+        *, engine_backend: str = "numpy",
     ) -> None:
         if not scenarios:
             raise ValueError("need at least one scenario")
@@ -725,9 +726,13 @@ class PifoCampaignFrontend:
         n = self.scenarios[0].n_slots
         self._s = s_count
         self._n = n
+        # The rank/credit arrays stay NumPy (the compiled rank functions
+        # are NumPy ufunc expressions); only the slot-state engine runs
+        # on the selected backend, talking through enqueue/decision.
         self.engine = CampaignEngine(
             _pifo_arch(n),
             [_service_tag_streams(n) for _ in range(s_count)],
+            engine_backend=engine_backend,
         )
         self._rank_fn = fn.compile_tensor()
         self._finish_fn = fn.compile_finish(vectorized=True)

@@ -72,6 +72,22 @@ class TestRecordsAndPayloads:
         write_bench(out, "demo", [bench_record("a", 1)])
         assert out.read_text() == text  # regeneration is byte-stable
 
+    def test_write_bench_refuses_schema_downgrade(self, tmp_path):
+        """A newer-schema artifact must never be silently rewritten."""
+        out = tmp_path / "BENCH_DEMO.json"
+        future = {"schema": benchtrend.BENCH_SCHEMA + 1, "records": []}
+        out.write_text(json.dumps(future))
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            write_bench(out, "demo", [bench_record("a", 1)])
+        assert json.loads(out.read_text()) == future  # untouched
+
+    def test_write_bench_replaces_invalid_existing_file(self, tmp_path):
+        """Garbage at the target path was never an artifact: overwrite."""
+        out = tmp_path / "BENCH_DEMO.json"
+        out.write_text("not json {")
+        payload = write_bench(out, "demo", [bench_record("a", 1)])
+        assert json.loads(out.read_text()) == payload
+
 
 class TestNormalization:
     def test_schema1_passes_through(self):

@@ -94,6 +94,48 @@ class TestTable3Traces:
         assert res.serviced.tolist() == vec["serviced"]
 
 
+class TestTable3TensorBackends:
+    """The pinned traces replay on every installable array backend.
+
+    ``REPRO_GOLDEN_BACKEND`` selects the leg (default ``numpy``, which
+    always runs and pins the tensor engine to the committed vectors);
+    the CI backend matrix exports it per job so each installable
+    backend replays the same pinned traces.  A selected backend whose
+    library is missing skips with the availability reason.
+    """
+
+    @pytest.mark.parametrize("config", sorted(regen._TABLE3_CONFIGS))
+    def test_tensor_engine_matches_on_selected_backend(self, config):
+        import os
+
+        from repro.core.backend import BACKENDS, available_backends
+        from repro.core.tensor_engine import TensorScheduler
+
+        backend = os.environ.get("REPRO_GOLDEN_BACKEND", "numpy")
+        assert backend in BACKENDS
+        reason = available_backends()[backend]
+        if reason is not None:
+            pytest.skip(reason)
+        data = _load("table3_vectors.json")
+        vec = data["configs"][config]
+        engine = TensorScheduler(
+            *regen.table3_arch_streams(vec), engine_backend=backend
+        )
+        res = engine.run_periodic(
+            vec["n_cycles"],
+            offsets=np.arange(1, 5, dtype=np.int64),
+            step=1,
+            consume=vec["consume"],
+            count_misses=vec["count_misses"],
+            collect_winners=True,
+        )
+        assert res.winners is not None
+        assert res.winners.tolist() == vec["winners"]
+        assert res.wins.tolist() == vec["wins"]
+        assert res.misses.tolist() == vec["missed"]
+        assert res.serviced.tolist() == vec["serviced"]
+
+
 class TestPifoVectors:
     """Committed PIFO rank-function summaries replay on every engine."""
 
