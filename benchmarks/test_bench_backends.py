@@ -97,9 +97,14 @@ def test_backend_crossover(report):
                         wins, baseline_wins[(s, n)],
                         err_msg=f"{name} diverged at S={s} N={n}",
                     )
+                # Backend and shape live in the record *name*
+                # (``backend_ops.numpy.s16n32``) so trend tables and
+                # regression reports read without metadata lookups;
+                # metadata keeps the raw parameters for filtering.
                 records.append(
                     bench_record(
-                        "backend_ops", rate, "scenario-cycles/s",
+                        f"backend_ops.{name}.s{s}n{n}",
+                        rate, "scenario-cycles/s",
                         backend=name, scenarios=s, slots=n,
                         direction="higher",
                     )
@@ -120,7 +125,8 @@ def test_backend_crossover(report):
                 if name != "numpy":
                     records.append(
                         bench_record(
-                            "backend_vs_numpy", rate / base, "ratio",
+                            f"backend_vs_numpy.{name}.s{s}n{n}",
+                            rate / base, "ratio",
                             backend=name, scenarios=s, slots=n,
                             direction="higher",
                         )

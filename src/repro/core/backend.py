@@ -34,6 +34,7 @@ enforce the contract.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any
 
 import numpy as np
@@ -41,6 +42,7 @@ import numpy as np
 __all__ = [
     "ArrayApiBackend",
     "NumpyBackend",
+    "NumbaBackend",
     "TorchBackend",
     "CupyBackend",
     "BACKENDS",
@@ -50,10 +52,13 @@ __all__ = [
 ]
 
 #: Installable backend names, resolution order of the benchmark sweep.
-BACKENDS = ("numpy", "torch", "cupy", "array_api_strict")
+BACKENDS = ("numpy", "numba", "torch", "cupy", "array_api_strict")
 
 #: pip extra that pins the optional backend libraries.
 _EXTRA_HINT = 'pip install -e ".[backends]"'
+
+#: pip extra that pins the numba JIT dependency.
+_JIT_HINT = 'pip install -e ".[jit]"'
 
 
 class BackendUnavailable(ImportError):
@@ -240,6 +245,41 @@ class NumpyBackend(ArrayApiBackend):
         return np.argsort(arr, axis=-1, kind="stable")
 
 
+class NumbaBackend(NumpyBackend):
+    """NumPy state + fused compiled kernels (:mod:`repro.core.jit`).
+
+    Subclasses :class:`NumpyBackend` — the ``(S, N)`` state stays plain
+    host ndarrays with identical array-op semantics — and additionally
+    carries :attr:`jit_kernels`, which the tensor engine checks to
+    route its fused entry points (rank cascade, network replay, DWCS
+    miss scatter, and the whole-run periodic driver) through the
+    ``@njit(cache=True)`` kernels instead of per-phase array dispatch.
+
+    When numba is missing the kernels would run interpreted (correct
+    but slow), so construction raises :class:`BackendUnavailable`
+    unless ``force_interpreted=True`` — the escape hatch the
+    equivalence suite and the JIT benchmark use to exercise the kernel
+    code paths on hosts without the ``jit`` extra (semantically the
+    same run numba's ``NUMBA_DISABLE_JIT=1`` produces).  The
+    :func:`resolve_backend` seam instead degrades ``"numba"`` to the
+    NumPy backend with a single warning (see :func:`_make_numba`).
+    """
+
+    def __init__(self, *, force_interpreted: bool = False) -> None:
+        from repro.core import jit
+
+        if not (jit.NUMBA_AVAILABLE or force_interpreted):
+            raise BackendUnavailable(
+                f"engine backend 'numba' needs numba ({_JIT_HINT})"
+            )
+        super().__init__()
+        self.name = "numba"
+        #: The kernel module the engine's fused entry points dispatch to.
+        self.jit_kernels = jit
+        #: True when the kernels are actually compiled (numba present).
+        self.jit_compiled = jit.NUMBA_AVAILABLE
+
+
 class TorchBackend(ArrayApiBackend):  # pragma: no cover - needs torch
     """PyTorch backend (CPU by default; pass ``device="cuda"`` for GPU).
 
@@ -343,6 +383,36 @@ def _make_numpy() -> ArrayApiBackend:
     return NumpyBackend()
 
 
+#: One warning per process even if the backend cache is cleared.
+_numba_fallback_warned = False
+
+
+def _make_numba() -> ArrayApiBackend:
+    """Compiled backend when numba is importable, else NumPy + warning.
+
+    The degrade-don't-fail contract: ``engine_backend="numba"`` must
+    never make a host without the ``jit`` extra crash or silently run
+    the slow interpreted kernels — it falls back to the plain NumPy
+    path (byte-identical observables, just uncompiled) and says so
+    exactly once per process.
+    """
+    from repro.core import jit
+
+    if jit.NUMBA_AVAILABLE:  # pragma: no cover - needs the jit extra
+        return NumbaBackend()
+    global _numba_fallback_warned
+    if not _numba_fallback_warned:
+        _numba_fallback_warned = True
+        warnings.warn(
+            "engine backend 'numba' requested but numba is not "
+            "importable; degrading to the plain NumPy path "
+            f"({_JIT_HINT})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return resolve_backend("numpy")
+
+
 def _make_torch() -> ArrayApiBackend:
     try:
         return TorchBackend()
@@ -375,6 +445,7 @@ def _make_array_api_strict() -> ArrayApiBackend:
 
 _FACTORIES = {
     "numpy": _make_numpy,
+    "numba": _make_numba,
     "torch": _make_torch,
     "cupy": _make_cupy,
     "array_api_strict": _make_array_api_strict,
@@ -414,11 +485,20 @@ def available_backends() -> dict[str, str | None]:
     report: dict[str, str | None] = {}
     for name in BACKENDS:
         try:
-            resolve_backend(name)
+            resolved = resolve_backend(name)
         except BackendUnavailable as exc:
             report[name] = str(exc)
         except Exception as exc:  # pragma: no cover - env-specific
             report[name] = f"{type(exc).__name__}: {exc}"
         else:
-            report[name] = None
+            # A degrading resolve (numba without the jit extra) is not
+            # "usable as itself" — report the fallback so sweeps and
+            # the CI matrix skip-with-reason instead of re-measuring
+            # the NumPy path under another label.
+            report[name] = (
+                None
+                if resolved.name == name
+                else f"'{name}' degrades to {resolved.name!r} on this "
+                f"host (numba not installed; {_JIT_HINT})"
+            )
     return report

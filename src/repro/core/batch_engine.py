@@ -167,8 +167,10 @@ def make_scheduler(
     asserted behaviorally identical by :mod:`repro.core.differential`.
 
     ``engine_backend`` selects the array namespace for the tensor
-    engine (see :mod:`repro.core.backend`); the reference and batch
-    engines are NumPy-only and reject any other value.
+    engine (see :mod:`repro.core.backend`) — ``"numba"`` routes whole
+    runs through the fused compiled kernels of :mod:`repro.core.jit`;
+    the reference and batch engines are NumPy-only and reject any
+    other value.
     """
     if engine != "tensor" and engine_backend != "numpy":
         raise ValueError(

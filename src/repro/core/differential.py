@@ -751,9 +751,13 @@ def _scenario_cache_payload(
     engine pair, comparison mode and array backend, so a generator
     change that alters what a seed means invalidates its cache entry —
     and tensor-path results never collide with cached sequential-path
-    entries, nor one backend's passes with another's.  The
-    package-version/schema token is folded in by
-    :class:`~repro.runner.cache.ResultCache`.
+    entries, nor one backend's passes with another's.  That includes
+    the ``numba`` backend: even though its fused kernels are proven
+    byte-identical to the NumPy path, a cached pass records *which*
+    code path validated the scenario, so compiled-kernel runs key
+    separately rather than satisfying (or being satisfied by)
+    NumPy-path lookups.  The package-version/schema token is folded in
+    by :class:`~repro.runner.cache.ResultCache`.
     """
     scenario = generate_scenario(seed, n_cycles=n_cycles)
     return {

@@ -54,7 +54,7 @@ from collections import deque
 import numpy as np
 
 from repro.core.attributes import SchedulingMode, StreamConfig
-from repro.core.backend import ArrayApiBackend, resolve_backend
+from repro.core.backend import ArrayApiBackend, NumpyBackend, resolve_backend
 from repro.core.batch_engine import (
     _ARR_HALF,
     _ARR_MASK,
@@ -359,6 +359,45 @@ class CampaignEngine:
             )
         self._bitonic_pass_vectors = tuple(pass_vectors)
 
+        # -- fused compiled kernels (engine_backend="numba") --
+        # A backend carrying ``jit_kernels`` (the NumbaBackend) routes
+        # the fused entry points — rank cascade, network replay, miss
+        # scatter, whole-run periodic driver — through repro.core.jit.
+        # The pass geometry is stacked into dense (P, N) arrays so one
+        # kernel argument replays every pass without Python iteration.
+        self._jit = getattr(bk, "jit_kernels", None)
+        if self._jit is not None:
+            p_count = len(self._bitonic_passes)
+            partner_all = np.empty((p_count, n), dtype=np.int64)
+            gt_all = np.empty((p_count, n), dtype=bool)
+            for p, (partner_full, gt_full) in enumerate(
+                self._bitonic_pass_vectors
+            ):
+                partner_all[p] = partner_full
+                gt_all[p] = gt_full
+            self._jit_partner = partner_all
+            self._jit_gt = gt_all
+            self._jit_shuffle = np.ascontiguousarray(
+                np.asarray(self._shuffle, dtype=np.int64)
+            )
+
+        # -- per-cycle scratch, reused across decision cycles --
+        # decision_cycle_all used to rebuild these outcome accumulators
+        # and boolean masks every cycle; hot campaigns run millions of
+        # cycles, so they are hoisted here and cleared/overwritten per
+        # call instead (NumPy-family backends only for the array
+        # scratch — array-API namespaces lack ufunc ``out=``).
+        self._cycle_dropped: list[list] = [[] for _ in range(s_count)]
+        self._cycle_misses: list[list[int]] = [[] for _ in range(s_count)]
+        self._counting_cache: dict[tuple, object] = {}
+        self._np_state = isinstance(bk, NumpyBackend)
+        self._scratch_valid = (
+            np.empty(shape, dtype=bool) if self._np_state else None
+        )
+        self._scratch_late = (
+            np.empty(shape, dtype=bool) if self._np_state else None
+        )
+
         for s, streams in enumerate(stream_lists):
             if streams:
                 for stream in streams:
@@ -526,6 +565,13 @@ class CampaignEngine:
         the last axis, on whichever backend holds the state.
         """
         bk = self._b
+        if self._jit is not None:
+            order = np.empty(valid.shape, dtype=np.int64)
+            self._jit.rank_into(
+                order, valid, attr_dl, attr_arr, x, y,
+                now, self._wrap, self._deadline_only,
+            )
+            return order
         if self._wrap:
             dl = (attr_dl - now) & _DL_MASK
             dl = bk.where(dl >= _DL_HALF, dl - _DL_MOD, dl)
@@ -555,6 +601,14 @@ class CampaignEngine:
         """
         bk = self._b
         s_count, n = order.shape
+        if self._jit is not None:
+            state_out = np.empty((s_count, n), dtype=np.int64)
+            self._jit.emit_into(
+                state_out, np.ascontiguousarray(order),
+                self._jit_partner, self._jit_gt, self._jit_shuffle,
+                self._log2n, self.config.schedule == "bitonic",
+            )
+            return state_out
         # order is a permutation per row, so its argsort IS the inverse
         # permutation: rank[sid] = network position of that slot.
         rank = bk.argsort_stable(order)
@@ -595,6 +649,13 @@ class CampaignEngine:
         kernel runs unchanged on every backend.
         """
         bk = self._b
+        if self._jit is not None:
+            self._jit.register_misses_into(
+                np.ascontiguousarray(late), self._dwcs_like,
+                self._x, self._y, self._cfg_x, self._cfg_y,
+                self._missed, self._violations, self._window_resets,
+            )
+            return
         self._missed = bk.where(late, self._missed + 1, self._missed)
         dwcs = late & self._dwcs_like
         if not bk.any(dwcs):
@@ -683,9 +744,14 @@ class CampaignEngine:
             if c not in ("winner", "block", "none"):
                 raise ValueError(f"unknown consume policy {c!r}")
 
-        dropped: list[list[tuple[int, PendingPacket]]] = [
-            [] for _ in range(s_count)
-        ]
+        # Reused per-cycle accumulators (hoisted to __init__): clearing
+        # in place avoids rebuilding S lists on every decision cycle.
+        dropped = self._cycle_dropped
+        misses = self._cycle_misses
+        for row in dropped:
+            row.clear()
+        for row in misses:
+            row.clear()
         for s in range(s_count):
             if not drop_s[s]:
                 continue
@@ -709,7 +775,12 @@ class CampaignEngine:
 
         # SCHEDULE: one rank + one network replay for all scenarios.
         bk = self._b
-        valid = self._has_head & self._loaded
+        if self._scratch_valid is not None:
+            valid = np.logical_and(
+                self._has_head, self._loaded, out=self._scratch_valid
+            )
+        else:
+            valid = self._has_head & self._loaded
         rank_order = self._rank(
             now, valid, self._attr_deadline, self._attr_arrival,
             self._x, self._y,
@@ -740,18 +811,32 @@ class CampaignEngine:
             acc[1] += _t1 - _t0
 
         # Miss registration, batched over the scenarios that count them.
-        if self._wrap:
+        if self._scratch_late is not None:
+            scratch = self._scratch_late
+            if self._wrap:
+                diff = (self._head_deadline - now) & _DL_MASK
+                np.greater_equal(diff, _DL_HALF, out=scratch)
+            else:
+                np.less(self._head_deadline, now, out=scratch)
+            late = np.logical_and(scratch, valid, out=scratch)
+        elif self._wrap:
             diff = (self._head_deadline - now) & _DL_MASK
             late = valid & (diff >= _DL_HALF)
         else:
             late = valid & (self._head_deadline < now)
-        counting = bk.asarray(count_s, dtype=bk.bool_)
+        # Per-scenario count_misses policies recur across cycles, so
+        # the broadcast mask is memoized instead of rebuilt per cycle.
+        count_key = tuple(count_s)
+        counting = self._counting_cache.get(count_key)
+        if counting is None:
+            counting = self._counting_cache[count_key] = bk.asarray(
+                list(count_key), dtype=bk.bool_
+            )
         counted_late = late & counting[:, None]
-        misses = [[] for _ in range(s_count)]
         if bk.any(counted_late):
             counted_np = np.asarray(bk.to_numpy(counted_late))
             for s in np.nonzero(counted_np.any(axis=1))[0]:
-                misses[int(s)] = np.nonzero(counted_np[s])[0].tolist()
+                misses[int(s)].extend(np.nonzero(counted_np[s])[0].tolist())
             self._register_misses(counted_late)
 
         # PRIORITY_UPDATE: per-scenario circulate/consume (queue-backed,
@@ -933,6 +1018,16 @@ class CampaignEngine:
                 raise ValueError("stride must be >= 1")
             strides = bk.from_numpy(np.ascontiguousarray(strides_np))
 
+        if self._jit is not None and not self.trace_timeline:
+            # Whole-run compiled driver: the K-cycle loop runs inside
+            # one nopython kernel.  Timeline tracing needs per-cycle
+            # control-FSM entries, so traced runs keep the array path.
+            return self._run_periodic_compiled(
+                n_cycles, offs, steps, strides,
+                consume=consume, count_misses=count_misses,
+                collect_winners=collect_winners, fast_forward=fast_forward,
+            )
+
         consumed = bk.zeros(shape, bk.int64)
         edf = self._mode == _EDF
         max_first = self.config.block_mode is BlockMode.MAX_FIRST
@@ -1045,7 +1140,14 @@ class CampaignEngine:
                 update_cycles, detail="circulate=<campaign>"
             )
             t += 1
-        loaded_np = np.asarray(bk.to_numpy(loaded))
+        return self._periodic_results(n_cycles, winners)
+
+    def _periodic_results(
+        self, n_cycles: int, winners: np.ndarray | None
+    ) -> list[PeriodicRunResult]:
+        """Snapshot the per-scenario counters into run results."""
+        bk = self._b
+        loaded_np = np.asarray(bk.to_numpy(self._loaded))
         wins_np = np.asarray(bk.to_numpy(self._wins))
         missed_np = np.asarray(bk.to_numpy(self._missed))
         serviced_np = np.asarray(bk.to_numpy(self._serviced))
@@ -1059,8 +1161,87 @@ class CampaignEngine:
                 frames_scheduled=int(serviced_np[s].sum()),
                 winners=winners[s].copy() if winners is not None else None,
             )
-            for s in range(s_count)
+            for s in range(self.n_scenarios)
         ]
+
+    def _run_periodic_compiled(
+        self,
+        n_cycles: int,
+        offs,
+        steps,
+        strides,
+        *,
+        consume: str,
+        count_misses: bool,
+        collect_winners: bool,
+        fast_forward: bool,
+    ) -> list[PeriodicRunResult]:
+        """Drive :func:`repro.core.jit.run_cycles` and replay accounting.
+
+        State/counter arrays are the engine's own (the NumbaBackend
+        keeps them as host ndarrays) and the kernel mutates them in
+        place; the decision ring comes back with one circulated sid per
+        (scenario, cycle) and is drained into ``winners``.  Control
+        accounting is replayed in bulk from the kernel's cycle stats —
+        with tracing off :class:`~repro.core.control.ControlUnit` is a
+        pure counter, so the bulk replay is state-identical to the
+        per-cycle calls the array path makes.
+        """
+        s_count = self.n_scenarios
+        shape = (s_count, self._n)
+        if strides is None:
+            strides = np.ones(shape, dtype=np.int64)
+        ring = np.full(
+            (s_count, n_cycles if collect_winners else 0),
+            -1, dtype=np.int64,
+        )
+        stats = np.zeros(3, dtype=np.int64)
+        self._jit.run_cycles(
+            int(n_cycles),
+            self._loaded,
+            np.ascontiguousarray(offs),
+            np.ascontiguousarray(steps),
+            np.ascontiguousarray(strides),
+            self._dwcs_like,
+            np.ascontiguousarray(self._mode == _EDF),
+            self._x, self._y, self._cfg_x, self._cfg_y, self._edf_bias,
+            self._wins, self._serviced, self._missed,
+            self._violations, self._window_resets,
+            self._deadline_only,
+            self.config.winner_only,
+            self.config.block_mode is BlockMode.MAX_FIRST,
+            self.config.schedule == "bitonic",
+            self._jit_partner, self._jit_gt, self._jit_shuffle,
+            self._log2n,
+            consume == "block",
+            bool(count_misses),
+            bool(fast_forward),
+            bool(self._b.any(self._loaded)),
+            ring,
+            stats,
+        )
+        nonff, ff_cycles, ff_gaps = (int(v) for v in stats)
+        passes = self._schedule_passes
+        update_cycles = self.config.update_cycles
+        profile = self._phase_profile
+        if ff_cycles:
+            if profile is not None:
+                _t0 = time.perf_counter()
+            self.control.advance_decision_cycles(
+                ff_cycles, passes, update_cycles, detail="idle fast-forward"
+            )
+            self._fast_forwarded += ff_cycles
+            if profile is not None:
+                acc = profile["fast_forward"]
+                acc[0] += ff_gaps
+                acc[1] += time.perf_counter() - _t0
+        if nonff:
+            self.control.advance_decision_cycles(
+                nonff, passes, update_cycles, detail="compiled run"
+            )
+        return self._periodic_results(
+            n_cycles, ring if collect_winners else None
+        )
 
     # ------------------------------------------------------------------
     # derived metrics

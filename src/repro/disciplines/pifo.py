@@ -899,12 +899,21 @@ def run_pifo(
 
 
 def run_pifo_bucket(
-    fn: RankFunction | str, scenarios: Sequence[PifoScenario]
+    fn: RankFunction | str, scenarios: Sequence[PifoScenario],
+    *, engine_backend: str = "numpy",
 ) -> list[dict]:
-    """Tensorized bucket run: all same-shape scenarios in one engine."""
+    """Tensorized bucket run: all same-shape scenarios in one engine.
+
+    ``engine_backend`` selects the campaign engine's array namespace
+    (``"numpy"``, ``"numba"`` for the fused compiled kernels, or any
+    other :mod:`repro.core.backend` name/instance); summaries are
+    byte-identical across backends.
+    """
     if isinstance(fn, str):
         fn = rank_function(fn)
-    return PifoCampaignFrontend(fn, scenarios).run()
+    return PifoCampaignFrontend(
+        fn, scenarios, engine_backend=engine_backend
+    ).run()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,205 @@
+"""Byte-identity of the fused compiled decision-cycle kernels.
+
+The ``numba`` backend routes the tensor engine's per-cycle phases —
+packed-key rank cascade, sorting-network replay, DWCS miss/window
+scatter — plus the whole-run :func:`repro.core.jit.run_cycles` driver
+through nopython-style kernels.  The kernels are written so they run
+unchanged *interpreted* (numba absent, or ``NUMBA_DISABLE_JIT=1``),
+which is exactly what ``NumbaBackend(force_interpreted=True)`` gives
+us here: the same code paths the JIT compiles, byte-compared against
+the NumPy array path on every workload family the engine serves —
+bucketed differential campaigns, periodic feeds over the full flag
+matrix, PIFO rank functions, and aggregation-tier churn.
+
+A second group pins the degrade contract: resolving ``"numba"`` on a
+host without numba warns exactly once, returns the NumPy backend, and
+produces identical observables.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.backend as backend_mod
+from repro.aggregation import (
+    generate_aggregation_scenario,
+    run_aggregation_bucket,
+)
+from repro.core import jit
+from repro.core.backend import (
+    BackendUnavailable,
+    NumbaBackend,
+    resolve_backend,
+)
+from repro.core.differential import generate_scenario, run_bucket
+from repro.core.tensor_engine import CampaignEngine
+from repro.disciplines.pifo import (
+    PIFO_RANK_FUNCTIONS,
+    generate_pifo_scenario,
+    run_pifo_bucket,
+)
+from tests.strategies import bucketed, random_arch_streams
+
+
+def _jit_backend() -> NumbaBackend:
+    """The kernel path, runnable whether or not numba is installed."""
+    return NumbaBackend(force_interpreted=True)
+
+
+class TestKernelByteIdentity:
+    """Fused kernels == NumPy array path on every workload family."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16 - 1))
+    def test_bucketed_campaigns_identical(self, seed):
+        scenarios = [
+            generate_scenario(seed * 8 + i, n_cycles=60) for i in range(4)
+        ]
+        for bucket in bucketed(scenarios).values():
+            baseline = run_bucket(bucket)
+            compiled = run_bucket(bucket, engine_backend=_jit_backend())
+            assert baseline == compiled
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16 - 1))
+    def test_periodic_runs_identical(self, seed):
+        """The whole-run driver over the full run_periodic flag matrix."""
+        rng = random.Random(seed)
+        n = rng.choice([4, 8])
+        arch, streams_a = random_arch_streams(seed, n)
+        streams_b = random_arch_streams(seed + 1, n)[1]
+        offsets = np.asarray(
+            [rng.randint(0, 4) for _ in range(n)], dtype=np.int64
+        )
+        kwargs = dict(
+            offsets=offsets if rng.random() < 0.5 else None,
+            step=rng.choice([None, 1, 2, 3]),
+            stride=rng.choice([None, 1, 2]),
+            # Block consumption requires BA routing (WR emits only the
+            # winner); the drawn arch decides which policies are legal.
+            consume=rng.choice(
+                ["winner", "block"]
+                if not arch.winner_only
+                else ["winner"]
+            ),
+            count_misses=rng.choice([True, False]),
+            fast_forward=rng.choice([True, False]),
+            collect_winners=True,
+        )
+
+        def run(engine_backend):
+            engine = CampaignEngine(
+                arch, [streams_a, streams_b], engine_backend=engine_backend
+            )
+            results = engine.run_periodic(120, **kwargs)
+            return engine, results
+
+        ref_engine, ref = run("numpy")
+        jit_engine, got = run(_jit_backend())
+        assert len(ref) == len(got)
+        for r, g in zip(ref, got):
+            np.testing.assert_array_equal(r.wins, g.wins)
+            np.testing.assert_array_equal(r.misses, g.misses)
+            np.testing.assert_array_equal(r.serviced, g.serviced)
+            np.testing.assert_array_equal(r.winners, g.winners)
+            assert r.frames_scheduled == g.frames_scheduled
+        assert ref_engine.control.hw_cycle == jit_engine.control.hw_cycle
+        assert (
+            ref_engine.control.decision_cycles
+            == jit_engine.control.decision_cycles
+        )
+        assert ref_engine.fast_forwarded == jit_engine.fast_forwarded
+
+    @pytest.mark.parametrize("name", sorted(PIFO_RANK_FUNCTIONS))
+    def test_pifo_rank_functions_identical(self, name):
+        scenarios = [
+            generate_pifo_scenario(seed, n_cycles=60) for seed in range(6)
+        ]
+        baseline = run_pifo_bucket(name, scenarios)
+        compiled = run_pifo_bucket(
+            name, scenarios, engine_backend=_jit_backend()
+        )
+        assert baseline == compiled
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16 - 1),
+        discipline=st.sampled_from(
+            ["pifo:sfq", "pifo:fcfs", "pifo:edf", "pifo:prio"]
+        ),
+    )
+    def test_aggregation_churn_identical(self, seed, discipline):
+        scenarios = [
+            generate_aggregation_scenario(
+                seed * 4 + i,
+                n_streams=24,
+                n_aggregates=4,
+                n_cycles=80,
+                discipline=discipline,
+                join_rate=0.3,
+                leave_rate=0.25,
+            )
+            for i in range(3)
+        ]
+        baseline = run_aggregation_bucket(scenarios)
+        compiled = run_aggregation_bucket(
+            scenarios, engine_backend=_jit_backend()
+        )
+        assert baseline == compiled
+
+
+class TestBackendSurface:
+    """Constructor gating and interpreted-mode bookkeeping."""
+
+    def test_interpreted_backend_flags(self):
+        bk = _jit_backend()
+        assert bk.name == "numba"
+        assert bk.jit_kernels is jit
+        assert bk.jit_compiled == jit.NUMBA_AVAILABLE
+
+    @pytest.mark.skipif(
+        jit.NUMBA_AVAILABLE, reason="numba installed on this host"
+    )
+    def test_direct_construction_requires_numba(self):
+        with pytest.raises(BackendUnavailable):
+            NumbaBackend()
+
+
+class TestNoNumbaFallback:
+    """``"numba"`` degrades to NumPy with a single warning."""
+
+    @pytest.fixture()
+    def fresh_fallback(self, monkeypatch):
+        """Un-cache the numba resolution and re-arm the warn-once flag."""
+        monkeypatch.setattr(jit, "NUMBA_AVAILABLE", False)
+        monkeypatch.setattr(backend_mod, "_numba_fallback_warned", False)
+        saved = backend_mod._CACHE.pop("numba", None)
+        yield
+        backend_mod._CACHE.pop("numba", None)
+        if saved is not None:
+            backend_mod._CACHE["numba"] = saved
+
+    def test_resolve_warns_once_and_degrades(self, fresh_fallback):
+        with pytest.warns(RuntimeWarning, match="numba"):
+            bk = resolve_backend("numba")
+        assert bk.name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = resolve_backend("numba")
+        assert again is bk
+
+    def test_fallback_results_identical(self, fresh_fallback):
+        scenarios = [generate_scenario(7 * 8 + i, n_cycles=60)
+                     for i in range(4)]
+        for bucket in bucketed(scenarios).values():
+            baseline = run_bucket(bucket)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                degraded = run_bucket(bucket, engine_backend="numba")
+            assert baseline == degraded
